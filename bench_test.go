@@ -1,0 +1,166 @@
+// Package fscache's root benchmarks regenerate each of the paper's tables
+// and figures at a reduced scale (one benchmark per artifact — DESIGN.md §3
+// maps IDs to paper artifacts). Run the full-fidelity versions with
+// cmd/fstables -scale full; these benches exist so `go test -bench .`
+// exercises every experiment end to end and reports its cost.
+package fscache
+
+import (
+	"io"
+	"testing"
+
+	"fscache/internal/experiments"
+	"fscache/internal/futility"
+)
+
+// benchScale is small enough to keep a full `go test -bench .` run in the
+// minutes range while still driving every code path the figures use.
+func benchScale() experiments.Scale {
+	return experiments.Scale{
+		Name:           "bench",
+		L2Lines:        8192,
+		PartLines:      1024,
+		SubjectLines:   256,
+		TraceLen:       6000,
+		AnalyticLines:  4096,
+		Insertions:     60000,
+		L1Lines:        128,
+		WorkloadShrink: 8,
+		Seed:           20140621,
+	}
+}
+
+func BenchmarkTable2Config(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.Table2(benchScale()).Print(io.Discard)
+	}
+}
+
+func BenchmarkFig2aAssocCDF(b *testing.B) {
+	s := benchScale()
+	for i := 0; i < b.N; i++ {
+		res := experiments.Fig2a(s, "mcf")
+		res.Print(io.Discard)
+	}
+}
+
+func BenchmarkFig2bMisses(b *testing.B) {
+	s := benchScale()
+	for i := 0; i < b.N; i++ {
+		res := experiments.Fig2bc(s, []string{"mcf", "lbm"})
+		res.Print(io.Discard)
+	}
+}
+
+func BenchmarkFig2cIPC(b *testing.B) {
+	s := benchScale()
+	for i := 0; i < b.N; i++ {
+		res := experiments.Fig2bc(s, []string{"gromacs"})
+		res.Print(io.Discard)
+	}
+}
+
+func BenchmarkFig3Scaling(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.Fig3()
+		res.Print(io.Discard)
+	}
+}
+
+func BenchmarkFig4AssocFSvsPF(b *testing.B) {
+	s := benchScale()
+	for i := 0; i < b.N; i++ {
+		res := experiments.Fig4(s)
+		res.Print(io.Discard)
+	}
+}
+
+func BenchmarkFig5Sizing(b *testing.B) {
+	s := benchScale()
+	for i := 0; i < b.N; i++ {
+		res := experiments.Fig5(s)
+		res.Print(io.Discard)
+	}
+}
+
+func BenchmarkFig6Sensitivity(b *testing.B) {
+	s := benchScale()
+	for i := 0; i < b.N; i++ {
+		res := experiments.Fig6(s)
+		res.Print(io.Discard)
+	}
+}
+
+func BenchmarkFig7QoS(b *testing.B) {
+	s := benchScale()
+	for i := 0; i < b.N; i++ {
+		res := experiments.Fig7Sweep(s, []int{1, 16, 31}, nil,
+			[]futility.Kind{futility.CoarseLRU})
+		res.Print(io.Discard)
+	}
+}
+
+func BenchmarkFig8Performance(b *testing.B) {
+	s := benchScale()
+	for i := 0; i < b.N; i++ {
+		res := experiments.Fig7Sweep(s, []int{16}, nil,
+			[]futility.Kind{futility.CoarseLRU})
+		res.Summarize(futility.CoarseLRU).Print(io.Discard)
+	}
+}
+
+func BenchmarkSensInterval(b *testing.B) {
+	s := benchScale()
+	for i := 0; i < b.N; i++ {
+		res := experiments.SensInterval(s)
+		res.Print(io.Discard)
+	}
+}
+
+func BenchmarkSensRatio(b *testing.B) {
+	s := benchScale()
+	for i := 0; i < b.N; i++ {
+		res := experiments.SensDelta(s)
+		res.Print(io.Discard)
+	}
+}
+
+func BenchmarkAblationFS(b *testing.B) {
+	s := benchScale()
+	for i := 0; i < b.N; i++ {
+		res := experiments.AblationFS(s)
+		res.Print(io.Discard)
+	}
+}
+
+func BenchmarkAblationR(b *testing.B) {
+	s := benchScale()
+	for i := 0; i < b.N; i++ {
+		res := experiments.AblationR(s)
+		res.Print(io.Discard)
+	}
+}
+
+func BenchmarkAblationWay(b *testing.B) {
+	s := benchScale()
+	for i := 0; i < b.N; i++ {
+		res := experiments.AblationWay(s)
+		res.Print(io.Discard)
+	}
+}
+
+func BenchmarkResize(b *testing.B) {
+	s := benchScale()
+	for i := 0; i < b.N; i++ {
+		res := experiments.Resize(s)
+		res.Print(io.Discard)
+	}
+}
+
+func BenchmarkUtilStack(b *testing.B) {
+	s := benchScale()
+	for i := 0; i < b.N; i++ {
+		res := experiments.Util(s)
+		res.Print(io.Discard)
+	}
+}

@@ -1,0 +1,98 @@
+package main
+
+import (
+	"reflect"
+	"testing"
+
+	"fscache/internal/futility"
+)
+
+func TestSplitList(t *testing.T) {
+	cases := map[string][]string{
+		"a,b,c":    {"a", "b", "c"},
+		" a , b ":  {"a", "b"},
+		"a,,b":     {"a", "b"},
+		"":         nil,
+		"gromacs":  {"gromacs"},
+		",,,":      nil,
+		"x, y ,,z": {"x", "y", "z"},
+	}
+	for in, want := range cases {
+		if got := splitList(in); !reflect.DeepEqual(got, want) {
+			t.Errorf("splitList(%q) = %v, want %v", in, got, want)
+		}
+	}
+}
+
+func TestParseRank(t *testing.T) {
+	for in, want := range map[string]futility.Kind{
+		"coarse-lru": futility.CoarseLRU,
+		"lru":        futility.LRU,
+		"lfu":        futility.LFU,
+		"opt":        futility.OPT,
+	} {
+		got, err := parseRank(in)
+		if err != nil || got != want {
+			t.Errorf("parseRank(%q) = %v, %v", in, got, err)
+		}
+	}
+	if _, err := parseRank("belady"); err == nil {
+		t.Error("unknown rank accepted")
+	}
+}
+
+func TestParseTargetsEqual(t *testing.T) {
+	got, err := parseTargets("equal", 4, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, []int{25, 25, 25, 25}) {
+		t.Fatalf("targets = %v", got)
+	}
+}
+
+func TestParseTargetsExplicit(t *testing.T) {
+	got, err := parseTargets("10,20,30", 3, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, []int{10, 20, 30}) {
+		t.Fatalf("targets = %v", got)
+	}
+}
+
+func TestParseTargetsTrailingEqual(t *testing.T) {
+	got, err := parseTargets("40,equal", 3, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, []int{40, 30, 30}) {
+		t.Fatalf("targets = %v", got)
+	}
+}
+
+func TestParseTargetsErrors(t *testing.T) {
+	cases := []struct {
+		spec  string
+		parts int
+	}{
+		{"10,20", 3},       // too few
+		{"10,20,30,40", 3}, // too many
+		{"equal,10", 2},    // equal not last
+		{"abc", 1},         // not a number
+		{"-5", 1},          // negative
+		{"200,equal", 2},   // over capacity
+		{"10,20,equal", 2}, // equal with no remaining threads
+	}
+	for _, c := range cases {
+		if _, err := parseTargets(c.spec, c.parts, 100); err == nil {
+			t.Errorf("parseTargets(%q, %d) accepted", c.spec, c.parts)
+		}
+	}
+}
+
+func TestFmtAlphas(t *testing.T) {
+	if got := fmtAlphas([]float64{1, 2.5}); got != "[1 2.5]" {
+		t.Errorf("fmtAlphas = %q", got)
+	}
+}

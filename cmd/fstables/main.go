@@ -1,0 +1,89 @@
+// Command fstables regenerates every table and figure of the paper's
+// evaluation (DESIGN.md §3 lists the experiment index).
+//
+// Usage:
+//
+//	fstables                 # run everything at quick scale
+//	fstables -scale full     # paper-fidelity configuration (slow)
+//	fstables -fig fig7       # one experiment
+//	fstables -list           # show available experiment ids
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"fscache/internal/experiments"
+)
+
+func main() {
+	var (
+		fig    = flag.String("fig", "all", "experiment id to run, or 'all'")
+		scale  = flag.String("scale", "quick", "scale: quick or full")
+		seed   = flag.Uint64("seed", 0, "override the experiment seed (0 keeps the default)")
+		list   = flag.Bool("list", false, "list experiment ids and exit")
+		plots  = flag.Bool("plots", false, "also render ASCII CDF plots where available")
+		asJSON = flag.Bool("json", false, "emit results as JSON instead of tables")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, r := range experiments.Registry() {
+			fmt.Printf("%-10s %s\n", r.ID, r.Desc)
+		}
+		return
+	}
+
+	var sc experiments.Scale
+	switch *scale {
+	case "quick":
+		sc = experiments.Quick()
+	case "full":
+		sc = experiments.Full()
+	default:
+		fmt.Fprintf(os.Stderr, "fstables: unknown scale %q (quick|full)\n", *scale)
+		os.Exit(2)
+	}
+	if *seed != 0 {
+		sc.Seed = *seed
+	}
+
+	runners := experiments.Registry()
+	if *fig != "all" {
+		r, err := experiments.ByID(strings.TrimSpace(*fig))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "fstables:", err)
+			os.Exit(2)
+		}
+		runners = []experiments.Runner{r}
+	}
+
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	for _, r := range runners {
+		start := time.Now()
+		res := r.Run(sc)
+		if *asJSON {
+			if err := enc.Encode(map[string]interface{}{
+				"id": r.ID, "desc": r.Desc, "result": res,
+			}); err != nil {
+				fmt.Fprintln(os.Stderr, "fstables:", err)
+				os.Exit(1)
+			}
+			continue
+		}
+		fmt.Printf("==== %s — %s\n", r.ID, r.Desc)
+		res.Print(os.Stdout)
+		if *plots {
+			if p, ok := res.(interface{ PrintPlots(w io.Writer) }); ok {
+				p.PrintPlots(os.Stdout)
+			}
+		}
+		fmt.Printf("---- %s done in %v\n\n", r.ID, time.Since(start).Round(time.Millisecond))
+	}
+}

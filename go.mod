@@ -1,0 +1,3 @@
+module fscache
+
+go 1.22

@@ -1,0 +1,243 @@
+// Package analytic encodes the paper's analytical framework (§IV): the
+// uniformity-assumption model of a cache with R independent, uniformly
+// distributed replacement candidates, under Futility Scaling.
+//
+// Model: each replacement candidate belongs to partition j with probability
+// S_j (its size fraction) and has futility f uniform on [0,1]; FS evicts
+// the candidate maximizing α_j·f. The scaled futility of a random candidate
+// has CDF
+//
+//	G(y) = Σ_j S_j · min(y/α_j, 1),
+//
+// and the eviction-rate fraction of partition i is
+//
+//	E_i(α) = R·S_i/α_i · ∫₀^{α_i} G(y)^{R−1} dy.
+//
+// A partitioning is stable when E_i = I_i for all i. For two partitions with
+// α₁ = 1 this yields the paper's Equation (1):
+//
+//	α₂ = S₂ / ((I₁/S₁)^{1/(R−1)} − S₁),
+//
+// valid iff I₁ > S₁^R (the replacement-based partitioning bound: all R
+// candidates fall in partition 1 with probability S₁^R, forcing at least
+// that eviction share).
+package analytic
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrInfeasible reports a partitioning outside the replacement-based bound:
+// some partition's insertion rate is at or below its forced eviction rate.
+var ErrInfeasible = errors.New("analytic: partitioning infeasible (I_i <= S_i^R for some i)")
+
+// ScalingFactor2P returns the paper's Equation (1): the scaling factor α₂
+// for partition 2 when partition 1 is unscaled (α₁ = 1), given partition
+// 1's insertion-rate fraction i1 and size fraction s1, with R replacement
+// candidates. Inputs must satisfy 0 < i1 < 1, 0 < s1 < 1, R ≥ 2.
+//
+// The closed form holds for i1 ≤ s1 (partition 1 is the low-I/S partition,
+// giving α₂ ≥ 1, the case the paper states); for i1 > s1 relabel the
+// partitions so the unscaled one has the lower I/S ratio.
+func ScalingFactor2P(i1, s1 float64, r int) (float64, error) {
+	if i1 <= 0 || i1 >= 1 || s1 <= 0 || s1 >= 1 {
+		return 0, fmt.Errorf("analytic: fractions out of range: i1=%v s1=%v", i1, s1)
+	}
+	if r < 2 {
+		return 0, fmt.Errorf("analytic: need R >= 2, got %d", r)
+	}
+	root := math.Pow(i1/s1, 1/float64(r-1))
+	den := root - s1
+	if den <= 0 {
+		return 0, ErrInfeasible
+	}
+	s2 := 1 - s1
+	return s2 / den, nil
+}
+
+// FeasibleMinInsertion returns the minimum insertion-rate fraction a
+// partition of size fraction s can sustain with R candidates: s^R.
+func FeasibleMinInsertion(s float64, r int) float64 {
+	return math.Pow(s, float64(r))
+}
+
+// MaxSizeFraction returns the largest size fraction enforceable for a
+// partition with insertion-rate fraction i and R candidates: i^(1/R).
+// (The paper's example: i = 0.01, R = 16 → ≈ 0.75.)
+func MaxSizeFraction(i float64, r int) float64 {
+	return math.Pow(i, 1/float64(r))
+}
+
+// evalG computes G(y) = Σ_j S_j min(y/α_j, 1).
+func evalG(y float64, s, alpha []float64) float64 {
+	g := 0.0
+	for j := range s {
+		v := y / alpha[j]
+		if v > 1 {
+			v = 1
+		}
+		g += s[j] * v
+	}
+	return g
+}
+
+// integrateGPow integrates G(y)^(R−1) over [0, hi] with composite Simpson.
+func integrateGPow(hi float64, r int, s, alpha []float64, steps int) float64 {
+	if hi <= 0 {
+		return 0
+	}
+	if steps%2 == 1 {
+		steps++
+	}
+	h := hi / float64(steps)
+	sum := math.Pow(evalG(0, s, alpha), float64(r-1)) +
+		math.Pow(evalG(hi, s, alpha), float64(r-1))
+	for k := 1; k < steps; k++ {
+		y := float64(k) * h
+		w := 4.0
+		if k%2 == 0 {
+			w = 2.0
+		}
+		sum += w * math.Pow(evalG(y, s, alpha), float64(r-1))
+	}
+	return sum * h / 3
+}
+
+const integrationSteps = 2048
+
+// EvictionFraction returns E_i(α) for partition i under the framework.
+func EvictionFraction(i int, s, alpha []float64, r int) float64 {
+	return float64(r) * s[i] / alpha[i] *
+		integrateGPow(alpha[i], r, s, alpha, integrationSteps)
+}
+
+// ScalingFactors solves the N-partition generalization (§IV-E): scaling
+// factors α (normalized so min α = 1) such that each partition's eviction
+// fraction matches its insertion fraction: E_i(α) = I_i. insert and size
+// must be positive and each sum to 1. It returns ErrInfeasible when some
+// partition violates the bound I_i > S_i^R... relaxed: when the fixed point
+// iteration cannot satisfy the targets.
+func ScalingFactors(insert, size []float64, r int) ([]float64, error) {
+	n := len(insert)
+	if n == 0 || len(size) != n {
+		return nil, errors.New("analytic: insert and size must be equal-length and non-empty")
+	}
+	if n == 1 {
+		return []float64{1}, nil
+	}
+	var si, ss float64
+	for i := 0; i < n; i++ {
+		if insert[i] <= 0 || size[i] <= 0 {
+			return nil, errors.New("analytic: fractions must be positive")
+		}
+		si += insert[i]
+		ss += size[i]
+	}
+	if math.Abs(si-1) > 1e-9 || math.Abs(ss-1) > 1e-9 {
+		return nil, errors.New("analytic: fractions must sum to 1")
+	}
+	// Feasibility: every partition must receive insertions above its forced
+	// eviction share. (Necessary condition; the iteration below confirms.)
+	for i := 0; i < n; i++ {
+		if insert[i] <= FeasibleMinInsertion(size[i], r) {
+			return nil, ErrInfeasible
+		}
+	}
+
+	alpha := make([]float64, n)
+	for i := range alpha {
+		alpha[i] = 1
+	}
+	// Gauss–Seidel on coordinates: E_i is strictly increasing in α_i with
+	// the others fixed, so per-coordinate bisection converges.
+	const (
+		outer = 200
+		tol   = 1e-6
+	)
+	for iter := 0; iter < outer; iter++ {
+		maxErr := 0.0
+		for i := 0; i < n; i++ {
+			lo, hi := 1e-6, 1e9
+			for b := 0; b < 100; b++ {
+				mid := math.Sqrt(lo * hi) // geometric bisection: α spans decades
+				alpha[i] = mid
+				if EvictionFraction(i, size, alpha, r) < insert[i] {
+					lo = mid
+				} else {
+					hi = mid
+				}
+			}
+			alpha[i] = math.Sqrt(lo * hi)
+		}
+		// Normalize: smallest α = 1 (only ratios matter).
+		minA := alpha[0]
+		for _, a := range alpha[1:] {
+			if a < minA {
+				minA = a
+			}
+		}
+		for i := range alpha {
+			alpha[i] /= minA
+		}
+		for i := 0; i < n; i++ {
+			e := EvictionFraction(i, size, alpha, r)
+			if d := math.Abs(e - insert[i]); d > maxErr {
+				maxErr = d
+			}
+		}
+		if maxErr < tol {
+			return alpha, nil
+		}
+	}
+	// Accept modest residuals: the fixed point is attracting but slow when a
+	// partition sits near the feasibility boundary.
+	for i := 0; i < n; i++ {
+		e := EvictionFraction(i, size, alpha, r)
+		if math.Abs(e-insert[i]) > 1e-3 {
+			return nil, fmt.Errorf("analytic: no convergence for partition %d (E=%v I=%v): %w",
+				i, e, insert[i], ErrInfeasible)
+		}
+	}
+	return alpha, nil
+}
+
+// EvictionFutilityCDF returns the model's associativity distribution for
+// partition i: F(x) = P(evicted line's futility ≤ x | victim from i),
+// evaluated at points+1 equally spaced x values in [0,1].
+func EvictionFutilityCDF(i int, s, alpha []float64, r int, points int) []float64 {
+	ei := EvictionFraction(i, s, alpha, r)
+	out := make([]float64, points+1)
+	for k := 0; k <= points; k++ {
+		x := float64(k) / float64(points)
+		// P(victim from i with futility ≤ x) = R·S_i/α_i ∫₀^{α_i x} G^{R−1}.
+		v := float64(r) * s[i] / alpha[i] *
+			integrateGPow(alpha[i]*x, r, s, alpha, integrationSteps)
+		out[k] = v / ei
+	}
+	// Guard against integration noise at the top end.
+	out[points] = 1
+	return out
+}
+
+// AEF returns the model's average eviction futility for partition i:
+// ∫ x dF(x) computed from the CDF by parts: AEF = 1 − ∫₀¹ F(x) dx.
+func AEF(i int, s, alpha []float64, r int) float64 {
+	const points = 512
+	cdf := EvictionFutilityCDF(i, s, alpha, r, points)
+	integral := 0.0
+	for k := 0; k < points; k++ {
+		integral += (cdf[k] + cdf[k+1]) / 2
+	}
+	integral /= points
+	return 1 - integral
+}
+
+// UnpartitionedAEF returns R/(R+1): the AEF of a non-partitioned cache that
+// always evicts the max-futility candidate of R uniform candidates.
+func UnpartitionedAEF(r int) float64 { return float64(r) / float64(r+1) }
+
+// WorstCaseAEF is the PF worst case (N ≥ R): futility of evictions becomes
+// uniform, AEF = 0.5 and the associativity CDF is the diagonal F(x) = x.
+const WorstCaseAEF = 0.5

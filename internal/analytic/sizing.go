@@ -1,0 +1,115 @@
+package analytic
+
+import "math"
+
+// Size-deviation model (§IV-D): under FS with fixed scaling factors, a
+// partition's actual size performs a mean-reverting random walk. On each
+// eviction event (paired with one insertion), partition 1's size increments
+// with probability I₁·(1−E₁) and decrements with probability (1−I₁)·E₁,
+// where E₁ depends on the *current* size fraction — the restoring force.
+// The stationary distribution of this birth–death chain gives the deviation
+// CDF and MAD that Fig. 5 measures.
+
+// SizingModel describes one partition of a two-partition FS cache under the
+// uniformity framework.
+type SizingModel struct {
+	// TotalLines is the cache capacity M.
+	TotalLines int
+	// Insert1 is partition 1's insertion-rate fraction I₁.
+	Insert1 float64
+	// Alpha2 is partition 2's scaling factor (partition 1 unscaled).
+	Alpha2 float64
+	// R is the number of replacement candidates.
+	R int
+}
+
+// evict1 returns E₁ when partition 1 holds n of M lines.
+func (m *SizingModel) evict1(n int) float64 {
+	s1 := float64(n) / float64(m.TotalLines)
+	if s1 <= 0 {
+		return 0
+	}
+	if s1 >= 1 {
+		return 1
+	}
+	s := []float64{s1, 1 - s1}
+	alpha := []float64{1, m.Alpha2}
+	return EvictionFraction(0, s, alpha, m.R)
+}
+
+// Stationary computes the stationary distribution of partition 1's size
+// over [lo, hi] (inclusive), by detailed balance:
+// π(n+1)/π(n) = p_up(n)/p_down(n+1).
+func (m *SizingModel) Stationary(lo, hi int) []float64 {
+	if lo < 1 {
+		lo = 1
+	}
+	if hi > m.TotalLines-1 {
+		hi = m.TotalLines - 1
+	}
+	n := hi - lo + 1
+	logpi := make([]float64, n)
+	for k := 1; k < n; k++ {
+		cur := lo + k
+		e1Prev := m.evict1(cur - 1)
+		e1Cur := m.evict1(cur)
+		up := m.Insert1 * (1 - e1Prev)
+		down := (1 - m.Insert1) * e1Cur
+		if up <= 0 || down <= 0 {
+			logpi[k] = math.Inf(-1)
+			continue
+		}
+		logpi[k] = logpi[k-1] + math.Log(up) - math.Log(down)
+	}
+	// Normalize in probability space.
+	maxLog := math.Inf(-1)
+	for _, l := range logpi {
+		if l > maxLog {
+			maxLog = l
+		}
+	}
+	pi := make([]float64, n)
+	sum := 0.0
+	for k, l := range logpi {
+		pi[k] = math.Exp(l - maxLog)
+		sum += pi[k]
+	}
+	for k := range pi {
+		pi[k] /= sum
+	}
+	return pi
+}
+
+// DeviationStats returns the model's predicted mean size, mean absolute
+// deviation from target, and P(|dev| ≤ d) evaluated at each d in devs.
+func (m *SizingModel) DeviationStats(target int, window int, devs []int) (mean, mad float64, cdf []float64) {
+	lo, hi := target-window, target+window
+	pi := m.Stationary(lo, hi)
+	if lo < 1 {
+		lo = 1
+	}
+	for k, p := range pi {
+		n := lo + k
+		mean += p * float64(n)
+		mad += p * math.Abs(float64(n-target))
+	}
+	cdf = make([]float64, len(devs))
+	for i, d := range devs {
+		acc := 0.0
+		for k, p := range pi {
+			n := lo + k
+			if abs(n-target) <= d {
+				acc += p
+			}
+		}
+		cdf[i] = acc
+	}
+	return mean, mad, cdf
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

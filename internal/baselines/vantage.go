@@ -1,0 +1,164 @@
+package baselines
+
+import "fscache/internal/core"
+
+// VantageConfig carries the parameters the paper uses for its comparison
+// (§VII-B): "an unmanaged region u = 10%, a maximum aperture A_max = 0.5
+// and slack = 0.1".
+type VantageConfig struct {
+	// Unmanaged is the unmanaged-region fraction u.
+	Unmanaged float64
+	// MaxAperture is A_max, the largest fraction of a partition's futility
+	// range that may be demoted.
+	MaxAperture float64
+	// Slack sets where the aperture saturates: A reaches A_max when a
+	// partition is (1+Slack)× its target.
+	Slack float64
+}
+
+// DefaultVantageConfig returns the paper's configuration.
+func DefaultVantageConfig() VantageConfig {
+	return VantageConfig{Unmanaged: 0.10, MaxAperture: 0.5, Slack: 0.1}
+}
+
+// Vantage partitions the managed region of the cache by demoting lines of
+// oversized partitions into an unmanaged region, from which evictions are
+// normally taken. Each partition has an aperture A_p grown linearly with
+// its overshoot; candidates whose within-partition futility falls in the
+// top A_p fraction are demoted. If no replacement candidate lies in the
+// unmanaged region the scheme is forced to evict a managed line — with R
+// candidates this happens with probability ≈ (1−u)^R (18.5% for u = 0.1,
+// R = 16), which is why Vantage cannot strictly guarantee sizes on a
+// 16-way cache (§VIII-A).
+//
+// The unmanaged region is modeled as a dedicated pseudo-partition; callers
+// construct the controller with parts = application partitions + 1 and pass
+// that extra index as unmanagedPart. Targets for the unmanaged partition
+// are ignored.
+type Vantage struct {
+	cfg           VantageConfig
+	unmanagedPart int
+	actual        []int
+	targets       []int
+	demoteBuf     []int
+}
+
+// NewVantage builds a Vantage scheme over parts total partitions where
+// unmanagedPart (usually parts−1) is the unmanaged pseudo-partition.
+func NewVantage(parts, unmanagedPart int, cfg VantageConfig) *Vantage {
+	if parts < 2 {
+		panic("baselines: Vantage needs an application partition and the unmanaged one")
+	}
+	if unmanagedPart < 0 || unmanagedPart >= parts {
+		panic("baselines: unmanagedPart out of range")
+	}
+	if cfg.Unmanaged <= 0 || cfg.Unmanaged >= 1 || cfg.MaxAperture <= 0 || cfg.MaxAperture > 1 || cfg.Slack <= 0 {
+		panic("baselines: invalid VantageConfig")
+	}
+	return &Vantage{
+		cfg:           cfg,
+		unmanagedPart: unmanagedPart,
+		targets:       make([]int, parts),
+	}
+}
+
+// Name implements core.Scheme.
+func (*Vantage) Name() string { return "vantage" }
+
+// Bind implements core.Scheme.
+func (v *Vantage) Bind(actual []int) { v.actual = actual }
+
+// SetTargets implements core.Scheme.
+func (v *Vantage) SetTargets(targets []int) {
+	if len(targets) != len(v.targets) {
+		panic("baselines: SetTargets length mismatch")
+	}
+	copy(v.targets, targets)
+}
+
+// UnmanagedPart returns the unmanaged pseudo-partition index.
+func (v *Vantage) UnmanagedPart() int { return v.unmanagedPart }
+
+// aperture returns A_p for a managed partition.
+func (v *Vantage) aperture(part int) float64 {
+	t := v.targets[part]
+	if t <= 0 {
+		// Partitions with no allocation demote everything above nothing:
+		// treat as fully open so they cannot squat in the managed region.
+		return v.cfg.MaxAperture
+	}
+	over := float64(v.actual[part]-t) / (v.cfg.Slack * float64(t))
+	if over <= 0 {
+		return 0
+	}
+	if over >= 1 {
+		return v.cfg.MaxAperture
+	}
+	return v.cfg.MaxAperture * over
+}
+
+// Decide implements core.Scheme.
+func (v *Vantage) Decide(cands []core.Candidate, insertPart int) core.Decision {
+	v.demoteBuf = v.demoteBuf[:0]
+	bestUn, bestUnF := -1, -1.0
+	bestDem, bestDemF := -1, -1.0
+	for i := range cands {
+		p := cands[i].Part
+		if p == v.unmanagedPart {
+			if cands[i].Futility > bestUnF {
+				bestUnF = cands[i].Futility
+				bestUn = i
+			}
+			continue
+		}
+		if a := v.aperture(p); a > 0 && cands[i].Futility >= 1-a {
+			v.demoteBuf = append(v.demoteBuf, i)
+			if cands[i].Futility > bestDemF {
+				bestDemF = cands[i].Futility
+				bestDem = i
+			}
+		}
+	}
+	switch {
+	case bestUn >= 0:
+		// Normal case: evict from the unmanaged region and demote everything
+		// within aperture.
+		return core.Decision{
+			Victim:   bestUn,
+			Demote:   v.demoteBuf,
+			DemoteTo: v.unmanagedPart,
+		}
+	case bestDem >= 0:
+		// No unmanaged candidate: evict the most useless demotable line
+		// directly (skipping its trip through the unmanaged region) and
+		// demote the rest.
+		keep := v.demoteBuf[:0]
+		for _, di := range v.demoteBuf {
+			if di != bestDem {
+				keep = append(keep, di)
+			}
+		}
+		return core.Decision{
+			Victim:   bestDem,
+			Demote:   keep,
+			DemoteTo: v.unmanagedPart,
+		}
+	default:
+		// Forced eviction from the managed region: the isolation breach the
+		// paper quantifies as P = (1−u)^R.
+		best, bestF := 0, -1.0
+		for i := range cands {
+			if cands[i].Futility > bestF {
+				bestF = cands[i].Futility
+				best = i
+			}
+		}
+		return core.Decision{Victim: best, Forced: true}
+	}
+}
+
+// OnInsert implements core.Scheme.
+func (*Vantage) OnInsert(part int) {}
+
+// OnEviction implements core.Scheme.
+func (*Vantage) OnEviction(part int) {}

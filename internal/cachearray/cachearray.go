@@ -1,0 +1,446 @@
+// Package cachearray implements the cache array organizations of the
+// paper's cache model (§III-A): the array "implements associative lookups
+// and provides a list of replacement candidates on each eviction".
+//
+// Six organizations are provided:
+//
+//   - SetAssoc: conventional set-associative array with XOR-based or H3
+//     indexing (the evaluated L2 is 16-way set-associative with XOR-based
+//     indexing, Table II).
+//   - DirectMapped: one candidate per eviction (the R=1 degenerate case).
+//   - Skew: skew-associative array — one hash function per way.
+//   - ZCache: a zcache with replacement-candidate walks and line relocation.
+//   - Random: the analytical "random candidates cache" satisfying the
+//     Uniformity Assumption (§IV-A) — R candidates drawn independently and
+//     uniformly over all lines.
+//   - FullyAssoc: every line is a candidate (used by the FullAssoc ideal
+//     partitioning scheme).
+//
+// Arrays store only addresses; partition membership, futility state and
+// statistics live in the controller (internal/core), keyed by line index.
+// Because a zcache relocates lines, Install reports Moves that the
+// controller must replay onto its per-line metadata.
+package cachearray
+
+import (
+	"fmt"
+
+	"fscache/internal/hashing"
+	"fscache/internal/xrand"
+)
+
+// Move records that the content of line From was relocated to line To
+// during an Install (zcache only). Metadata keyed by line index must follow.
+type Move struct {
+	From, To int
+}
+
+// Array is the cache-array contract used by the controller.
+//
+// The calling protocol on a miss for address a is:
+//
+//	cands := arr.Candidates(a)     // inspect, pick victim v ∈ cands
+//	moves := arr.Install(a, v)     // a now resides somewhere findable
+//
+// Candidates may return an internal buffer that is invalidated by the next
+// Candidates or Install call. Install must be passed a line from the most
+// recent Candidates(a) result.
+type Array interface {
+	// Name identifies the organization for reports.
+	Name() string
+	// Lines returns the total number of cache lines.
+	Lines() int
+	// Lookup returns the line index currently holding addr, or -1.
+	Lookup(addr uint64) int
+	// Candidates returns the replacement-candidate line indices for addr.
+	Candidates(addr uint64) []int
+	// AddrOf returns the address stored in line and whether it is valid.
+	AddrOf(line int) (addr uint64, valid bool)
+	// Install stores addr in victim (evicting its content) and returns any
+	// relocations performed.
+	Install(addr uint64, victim int) []Move
+}
+
+// AllCandidates is implemented by arrays whose Candidates list is every
+// line; controllers use it to select fast paths that avoid O(lines) scans.
+type AllCandidates interface {
+	AllLinesAreCandidates() bool
+}
+
+// Freer is implemented by arrays that can hand out a free (invalid) line in
+// O(1) without a candidate scan.
+type Freer interface {
+	// FreeLine returns an installable free line for addr, or -1.
+	FreeLine(addr uint64) int
+}
+
+func checkPow2(n int, what string) {
+	if n <= 0 || n&(n-1) != 0 {
+		panic(fmt.Sprintf("cachearray: %s must be a positive power of two, got %d", what, n))
+	}
+}
+
+// IndexKind selects the set-index hash for SetAssoc arrays.
+type IndexKind int
+
+// Index kinds.
+const (
+	// IndexXOR is conventional XOR-folded indexing (Table II's L2).
+	IndexXOR IndexKind = iota
+	// IndexH3 uses one H3 universal hash function.
+	IndexH3
+)
+
+// SetAssoc is a conventional set-associative array.
+type SetAssoc struct {
+	ways  int
+	sets  int
+	addrs []uint64
+	valid []bool
+	kind  IndexKind
+	h3    *hashing.H3
+	buf   []int
+}
+
+// NewSetAssoc builds an array of lines = sets×ways lines. lines and ways
+// must be powers of two with ways ≤ lines.
+func NewSetAssoc(lines, ways int, kind IndexKind, seed uint64) *SetAssoc {
+	checkPow2(lines, "lines")
+	checkPow2(ways, "ways")
+	if ways > lines {
+		panic("cachearray: ways exceed lines")
+	}
+	sets := lines / ways
+	a := &SetAssoc{
+		ways:  ways,
+		sets:  sets,
+		addrs: make([]uint64, lines),
+		valid: make([]bool, lines),
+		kind:  kind,
+		buf:   make([]int, ways),
+	}
+	if kind == IndexH3 {
+		a.h3 = hashing.NewH3(seed, sets)
+	}
+	return a
+}
+
+// NewDirectMapped builds the 1-way special case.
+func NewDirectMapped(lines int, kind IndexKind, seed uint64) *SetAssoc {
+	return NewSetAssoc(lines, 1, kind, seed)
+}
+
+// Name implements Array.
+func (a *SetAssoc) Name() string {
+	if a.ways == 1 {
+		return "directmapped"
+	}
+	return fmt.Sprintf("setassoc-%dway", a.ways)
+}
+
+// Lines implements Array.
+func (a *SetAssoc) Lines() int { return a.sets * a.ways }
+
+func (a *SetAssoc) set(addr uint64) int {
+	if a.kind == IndexH3 {
+		return int(a.h3.Hash(addr))
+	}
+	return int(hashing.Fold(addr, a.sets))
+}
+
+// Lookup implements Array.
+func (a *SetAssoc) Lookup(addr uint64) int {
+	base := a.set(addr) * a.ways
+	for w := 0; w < a.ways; w++ {
+		i := base + w
+		if a.valid[i] && a.addrs[i] == addr {
+			return i
+		}
+	}
+	return -1
+}
+
+// Candidates implements Array: the ways of addr's set.
+func (a *SetAssoc) Candidates(addr uint64) []int {
+	base := a.set(addr) * a.ways
+	for w := 0; w < a.ways; w++ {
+		a.buf[w] = base + w
+	}
+	return a.buf
+}
+
+// AddrOf implements Array.
+func (a *SetAssoc) AddrOf(line int) (uint64, bool) {
+	return a.addrs[line], a.valid[line]
+}
+
+// Install implements Array.
+func (a *SetAssoc) Install(addr uint64, victim int) []Move {
+	if victim/a.ways != a.set(addr) {
+		panic("cachearray: victim outside address's set")
+	}
+	a.addrs[victim] = addr
+	a.valid[victim] = true
+	return nil
+}
+
+// Skew is a skew-associative array: way w has its own hash function, so the
+// candidate lines of an address are decorrelated across ways, which makes
+// the candidate list behave much closer to uniform than a set-associative
+// array of the same R.
+type Skew struct {
+	ways   int
+	sets   int
+	family *hashing.Family
+	addrs  []uint64
+	valid  []bool
+	buf    []int
+}
+
+// NewSkew builds a skew-associative array. lines and ways must be powers of
+// two with ways ≤ lines.
+func NewSkew(lines, ways int, seed uint64) *Skew {
+	checkPow2(lines, "lines")
+	checkPow2(ways, "ways")
+	if ways > lines {
+		panic("cachearray: ways exceed lines")
+	}
+	sets := lines / ways
+	return &Skew{
+		ways:   ways,
+		sets:   sets,
+		family: hashing.NewFamily(seed, ways, sets),
+		addrs:  make([]uint64, lines),
+		valid:  make([]bool, lines),
+		buf:    make([]int, ways),
+	}
+}
+
+// Name implements Array.
+func (s *Skew) Name() string { return fmt.Sprintf("skew-%dway", s.ways) }
+
+// Lines implements Array.
+func (s *Skew) Lines() int { return s.sets * s.ways }
+
+func (s *Skew) pos(way int, addr uint64) int {
+	return way*s.sets + int(s.family.Hash(way, addr))
+}
+
+// Lookup implements Array.
+func (s *Skew) Lookup(addr uint64) int {
+	for w := 0; w < s.ways; w++ {
+		i := s.pos(w, addr)
+		if s.valid[i] && s.addrs[i] == addr {
+			return i
+		}
+	}
+	return -1
+}
+
+// Candidates implements Array: one line per way.
+func (s *Skew) Candidates(addr uint64) []int {
+	for w := 0; w < s.ways; w++ {
+		s.buf[w] = s.pos(w, addr)
+	}
+	return s.buf
+}
+
+// AddrOf implements Array.
+func (s *Skew) AddrOf(line int) (uint64, bool) {
+	return s.addrs[line], s.valid[line]
+}
+
+// Install implements Array.
+func (s *Skew) Install(addr uint64, victim int) []Move {
+	if s.pos(victim/s.sets, addr) != victim {
+		panic("cachearray: victim is not a candidate position for address")
+	}
+	s.addrs[victim] = addr
+	s.valid[victim] = true
+	return nil
+}
+
+// Random is the analytical cache of §IV: R candidates drawn independently
+// and uniformly over all lines on every eviction, which realizes the
+// Uniformity Assumption exactly. Lookup uses an address map (this array
+// abstracts away placement constraints entirely).
+type Random struct {
+	r      int
+	addrs  []uint64
+	valid  []bool
+	index  map[uint64]int
+	free   []int
+	rng    *xrand.Rand
+	buf    []int
+	seqDup bool // whether duplicates are filtered
+}
+
+// NewRandom builds a random-candidates array with r candidates per eviction.
+func NewRandom(lines, r int, seed uint64) *Random {
+	if lines <= 0 {
+		panic("cachearray: lines must be positive")
+	}
+	if r <= 0 || r > lines {
+		panic("cachearray: candidate count out of range")
+	}
+	a := &Random{
+		r:     r,
+		addrs: make([]uint64, lines),
+		valid: make([]bool, lines),
+		index: make(map[uint64]int, lines),
+		free:  make([]int, lines),
+		rng:   xrand.New(seed),
+		buf:   make([]int, 0, r),
+	}
+	for i := range a.free {
+		a.free[i] = lines - 1 - i // pop order 0,1,2,...
+	}
+	return a
+}
+
+// Name implements Array.
+func (a *Random) Name() string { return fmt.Sprintf("random-%dcand", a.r) }
+
+// Lines implements Array.
+func (a *Random) Lines() int { return len(a.addrs) }
+
+// Lookup implements Array.
+func (a *Random) Lookup(addr uint64) int {
+	if i, ok := a.index[addr]; ok {
+		return i
+	}
+	return -1
+}
+
+// FreeLine implements Freer.
+func (a *Random) FreeLine(addr uint64) int {
+	if len(a.free) == 0 {
+		return -1
+	}
+	return a.free[len(a.free)-1]
+}
+
+// Candidates implements Array: r distinct uniform lines.
+func (a *Random) Candidates(addr uint64) []int {
+	a.buf = a.buf[:0]
+	for len(a.buf) < a.r {
+		c := a.rng.Intn(len(a.addrs))
+		dup := false
+		for _, b := range a.buf {
+			if b == c {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			a.buf = append(a.buf, c)
+		}
+	}
+	return a.buf
+}
+
+// AddrOf implements Array.
+func (a *Random) AddrOf(line int) (uint64, bool) {
+	return a.addrs[line], a.valid[line]
+}
+
+// Install implements Array.
+func (a *Random) Install(addr uint64, victim int) []Move {
+	if a.valid[victim] {
+		delete(a.index, a.addrs[victim])
+	} else {
+		// Victim was a free line handed out by FreeLine; remove it from the
+		// freelist (it is always the top when obtained via FreeLine).
+		for i := len(a.free) - 1; i >= 0; i-- {
+			if a.free[i] == victim {
+				a.free = append(a.free[:i], a.free[i+1:]...)
+				break
+			}
+		}
+	}
+	a.addrs[victim] = addr
+	a.valid[victim] = true
+	a.index[addr] = victim
+	return nil
+}
+
+// FullyAssoc is the idealized array in which every line is a replacement
+// candidate. Controllers should use scheme fast paths (see core) instead of
+// scanning the full candidate list.
+type FullyAssoc struct {
+	addrs []uint64
+	valid []bool
+	index map[uint64]int
+	free  []int
+	all   []int
+}
+
+// NewFullyAssoc builds a fully-associative array.
+func NewFullyAssoc(lines int) *FullyAssoc {
+	if lines <= 0 {
+		panic("cachearray: lines must be positive")
+	}
+	a := &FullyAssoc{
+		addrs: make([]uint64, lines),
+		valid: make([]bool, lines),
+		index: make(map[uint64]int, lines),
+		free:  make([]int, lines),
+		all:   make([]int, lines),
+	}
+	for i := range a.free {
+		a.free[i] = lines - 1 - i
+		a.all[i] = i
+	}
+	return a
+}
+
+// Name implements Array.
+func (a *FullyAssoc) Name() string { return "fullyassoc" }
+
+// Lines implements Array.
+func (a *FullyAssoc) Lines() int { return len(a.addrs) }
+
+// AllLinesAreCandidates implements AllCandidates.
+func (a *FullyAssoc) AllLinesAreCandidates() bool { return true }
+
+// Lookup implements Array.
+func (a *FullyAssoc) Lookup(addr uint64) int {
+	if i, ok := a.index[addr]; ok {
+		return i
+	}
+	return -1
+}
+
+// FreeLine implements Freer.
+func (a *FullyAssoc) FreeLine(addr uint64) int {
+	if len(a.free) == 0 {
+		return -1
+	}
+	return a.free[len(a.free)-1]
+}
+
+// Candidates implements Array: every line.
+func (a *FullyAssoc) Candidates(addr uint64) []int { return a.all }
+
+// AddrOf implements Array.
+func (a *FullyAssoc) AddrOf(line int) (uint64, bool) {
+	return a.addrs[line], a.valid[line]
+}
+
+// Install implements Array.
+func (a *FullyAssoc) Install(addr uint64, victim int) []Move {
+	if a.valid[victim] {
+		delete(a.index, a.addrs[victim])
+	} else {
+		for i := len(a.free) - 1; i >= 0; i-- {
+			if a.free[i] == victim {
+				a.free = append(a.free[:i], a.free[i+1:]...)
+				break
+			}
+		}
+	}
+	a.addrs[victim] = addr
+	a.valid[victim] = true
+	a.index[addr] = victim
+	return nil
+}

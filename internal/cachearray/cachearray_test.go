@@ -1,0 +1,416 @@
+package cachearray
+
+import (
+	"testing"
+	"testing/quick"
+
+	"fscache/internal/xrand"
+)
+
+// fill installs n distinct addresses, always choosing the first candidate
+// (or a free line) as the victim, and returns the installed addresses.
+func fill(a Array, n int, rng *xrand.Rand) []uint64 {
+	var addrs []uint64
+	for len(addrs) < n {
+		addr := rng.Uint64()
+		if a.Lookup(addr) >= 0 {
+			continue
+		}
+		victim := -1
+		if f, ok := a.(Freer); ok {
+			victim = f.FreeLine(addr)
+		}
+		cands := a.Candidates(addr)
+		if victim < 0 {
+			// Prefer an invalid candidate.
+			for _, c := range cands {
+				if _, valid := a.AddrOf(c); !valid {
+					victim = c
+					break
+				}
+			}
+		}
+		if victim < 0 {
+			victim = cands[0]
+		} else {
+			// Re-walk for arrays that pair Candidates with Install state.
+			found := false
+			for _, c := range cands {
+				if c == victim {
+					found = true
+					break
+				}
+			}
+			if !found {
+				victim = cands[0]
+			}
+		}
+		a.Install(addr, victim)
+		addrs = append(addrs, addr)
+	}
+	return addrs
+}
+
+func arrays(lines int) map[string]Array {
+	return map[string]Array{
+		"setassoc-xor": NewSetAssoc(lines, 4, IndexXOR, 1),
+		"setassoc-h3":  NewSetAssoc(lines, 4, IndexH3, 2),
+		"direct":       NewDirectMapped(lines, IndexH3, 3),
+		"skew":         NewSkew(lines, 4, 4),
+		"random":       NewRandom(lines, 8, 5),
+		"fullyassoc":   NewFullyAssoc(lines),
+		"zcache":       NewZCache(lines, 4, 2, 6),
+	}
+}
+
+func TestLookupAfterInstall(t *testing.T) {
+	for name, a := range arrays(64) {
+		t.Run(name, func(t *testing.T) {
+			rng := xrand.New(7)
+			// Install half capacity; every installed address must be found
+			// until it is possibly displaced — so check right after install.
+			for i := 0; i < 32; i++ {
+				addr := rng.Uint64()
+				if a.Lookup(addr) >= 0 {
+					continue
+				}
+				cands := a.Candidates(addr)
+				victim := cands[0]
+				for _, c := range cands {
+					if _, valid := a.AddrOf(c); !valid {
+						victim = c
+						break
+					}
+				}
+				a.Install(addr, victim)
+				line := a.Lookup(addr)
+				if line < 0 {
+					t.Fatalf("address %#x not found after install", addr)
+				}
+				got, valid := a.AddrOf(line)
+				if !valid || got != addr {
+					t.Fatalf("AddrOf(%d) = %#x,%v want %#x,true", line, got, valid, addr)
+				}
+			}
+		})
+	}
+}
+
+func TestLookupMissing(t *testing.T) {
+	for name, a := range arrays(64) {
+		if got := a.Lookup(0xdeadbeef); got != -1 {
+			t.Errorf("%s: Lookup on empty array = %d", name, got)
+		}
+	}
+}
+
+func TestCandidateCounts(t *testing.T) {
+	lines := 256
+	cases := []struct {
+		a    Array
+		want int
+	}{
+		{NewSetAssoc(lines, 16, IndexXOR, 1), 16},
+		{NewDirectMapped(lines, IndexXOR, 1), 1},
+		{NewSkew(lines, 4, 1), 4},
+		{NewRandom(lines, 16, 1), 16},
+		{NewFullyAssoc(lines), lines},
+	}
+	for _, c := range cases {
+		if got := len(c.a.Candidates(12345)); got != c.want {
+			t.Errorf("%s: candidates = %d, want %d", c.a.Name(), got, c.want)
+		}
+	}
+}
+
+func TestCandidatesContainInstallTarget(t *testing.T) {
+	// Whatever victim we choose from Candidates, Install must make the
+	// address findable.
+	for name, a := range arrays(128) {
+		t.Run(name, func(t *testing.T) {
+			rng := xrand.New(11)
+			fill(a, 128, rng) // fill to capacity (may displace; fine)
+			for i := 0; i < 500; i++ {
+				addr := rng.Uint64()
+				if a.Lookup(addr) >= 0 {
+					continue
+				}
+				cands := a.Candidates(addr)
+				victim := cands[rng.Intn(len(cands))]
+				a.Install(addr, victim)
+				if a.Lookup(addr) < 0 {
+					t.Fatalf("iteration %d: %#x unfindable after install at %d", i, addr, victim)
+				}
+			}
+		})
+	}
+}
+
+func TestSetAssocVictimOutsideSetPanics(t *testing.T) {
+	a := NewSetAssoc(64, 4, IndexXOR, 1)
+	set := a.Candidates(1)[0] / 4
+	other := (set + 1) % (64 / 4)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	a.Install(1, other*4)
+}
+
+func TestRandomCandidatesDistinct(t *testing.T) {
+	a := NewRandom(64, 16, 9)
+	for i := 0; i < 200; i++ {
+		cands := a.Candidates(uint64(i))
+		seen := map[int]bool{}
+		for _, c := range cands {
+			if seen[c] {
+				t.Fatalf("duplicate candidate %d", c)
+			}
+			if c < 0 || c >= 64 {
+				t.Fatalf("candidate %d out of range", c)
+			}
+			seen[c] = true
+		}
+	}
+}
+
+func TestRandomCandidatesUniform(t *testing.T) {
+	// The Random array realizes the Uniformity Assumption; its candidate
+	// marginal distribution must be uniform over lines.
+	a := NewRandom(128, 8, 13)
+	counts := make([]int, 128)
+	const trials = 20000
+	for i := 0; i < trials; i++ {
+		for _, c := range a.Candidates(uint64(i)) {
+			counts[c]++
+		}
+	}
+	expected := float64(trials*8) / 128
+	chi2 := 0.0
+	for _, c := range counts {
+		d := float64(c) - expected
+		chi2 += d * d / expected
+	}
+	// 127 dof, 99.9th percentile ≈ 181.
+	if chi2 > 190 {
+		t.Fatalf("candidate distribution non-uniform: chi2 = %.1f", chi2)
+	}
+}
+
+func TestFreeLine(t *testing.T) {
+	for _, a := range []Array{NewRandom(8, 2, 1), NewFullyAssoc(8)} {
+		f := a.(Freer)
+		installed := 0
+		for {
+			line := f.FreeLine(uint64(installed))
+			if line < 0 {
+				break
+			}
+			a.Install(uint64(1000+installed), line)
+			installed++
+			if installed > 8 {
+				t.Fatalf("%s: more free lines than capacity", a.Name())
+			}
+		}
+		if installed != 8 {
+			t.Fatalf("%s: freelist handed out %d lines, want 8", a.Name(), installed)
+		}
+		for i := 0; i < 8; i++ {
+			if a.Lookup(uint64(1000+i)) < 0 {
+				t.Fatalf("%s: address %d lost", a.Name(), 1000+i)
+			}
+		}
+	}
+}
+
+func TestFullyAssocMarker(t *testing.T) {
+	var a Array = NewFullyAssoc(16)
+	ac, ok := a.(AllCandidates)
+	if !ok || !ac.AllLinesAreCandidates() {
+		t.Fatal("FullyAssoc must implement AllCandidates")
+	}
+	if _, ok := Array(NewSkew(16, 2, 1)).(AllCandidates); ok {
+		t.Fatal("Skew must not implement AllCandidates")
+	}
+}
+
+func TestZCacheWalkSize(t *testing.T) {
+	// Z4/52: 4 ways, 3 levels → up to 52 candidates.
+	z := NewZCache(1024, 4, 3, 17)
+	if z.MaxCandidates() != 52 {
+		t.Fatalf("MaxCandidates = %d, want 52", z.MaxCandidates())
+	}
+	rng := xrand.New(3)
+	fill(z, 1024, rng)
+	total, n := 0, 0
+	for i := 0; i < 100; i++ {
+		c := z.Candidates(rng.Uint64())
+		if len(c) > 52 {
+			t.Fatalf("walk produced %d candidates, cap 52", len(c))
+		}
+		total += len(c)
+		n++
+	}
+	// With dedup some walks are a little short, but on a full cache the
+	// average should be near the maximum.
+	if avg := float64(total) / float64(n); avg < 40 {
+		t.Fatalf("average walk size %.1f, want near 52", avg)
+	}
+}
+
+func TestZCacheRelocationPreservesContents(t *testing.T) {
+	z := NewZCache(256, 4, 3, 23)
+	rng := xrand.New(29)
+	resident := map[uint64]bool{}
+	var order []uint64
+	for i := 0; i < 5000; i++ {
+		addr := rng.Uint64() % 4096
+		if z.Lookup(addr) >= 0 {
+			continue
+		}
+		cands := z.Candidates(addr)
+		victim := cands[rng.Intn(len(cands))]
+		evicted, evictedValid := z.AddrOf(victim)
+		moves := z.Install(addr, victim)
+		for _, m := range moves {
+			if m.From < 0 || m.From >= 256 || m.To < 0 || m.To >= 256 {
+				t.Fatalf("move out of range: %+v", m)
+			}
+		}
+		if evictedValid {
+			delete(resident, evicted)
+		}
+		resident[addr] = true
+		order = append(order, addr)
+		// Every resident address must remain findable after relocation.
+		if i%50 == 0 {
+			for a := range resident {
+				if z.Lookup(a) < 0 {
+					t.Fatalf("iteration %d: resident %#x lost after relocations", i, a)
+				}
+			}
+		}
+	}
+	_ = order
+	if len(resident) > 256 {
+		t.Fatalf("resident set %d exceeds capacity", len(resident))
+	}
+}
+
+func TestZCacheInstallWithoutWalkPanics(t *testing.T) {
+	z := NewZCache(64, 4, 2, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	z.Install(42, 0)
+}
+
+func TestZCacheVictimNotCandidatePanics(t *testing.T) {
+	z := NewZCache(64, 4, 1, 1)
+	cands := z.Candidates(42)
+	bad := 0
+	for isCand := true; isCand; bad++ {
+		isCand = false
+		for _, c := range cands {
+			if c == bad {
+				isCand = true
+				break
+			}
+		}
+	}
+	bad--
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	z.Install(42, bad)
+}
+
+func TestConstructorValidation(t *testing.T) {
+	cases := []func(){
+		func() { NewSetAssoc(100, 4, IndexXOR, 1) }, // non-pow2 lines
+		func() { NewSetAssoc(64, 3, IndexXOR, 1) },  // non-pow2 ways
+		func() { NewSetAssoc(4, 8, IndexXOR, 1) },   // ways > lines
+		func() { NewSkew(64, 128, 1) },
+		func() { NewRandom(0, 1, 1) },
+		func() { NewRandom(16, 0, 1) },
+		func() { NewRandom(16, 32, 1) },
+		func() { NewFullyAssoc(0) },
+		func() { NewZCache(64, 1, 2, 1) },
+		func() { NewZCache(64, 4, 0, 1) },
+	}
+	for i, fn := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d did not panic", i)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+// Property: on any array, installing a fresh address at any reported
+// candidate keeps the number of valid lines ≤ capacity and keeps the new
+// address resident.
+func TestQuickInstallInvariants(t *testing.T) {
+	f := func(seed uint64, picks []uint8) bool {
+		z := NewZCache(64, 4, 2, seed)
+		rng := xrand.New(seed ^ 0xabcdef)
+		for _, p := range picks {
+			addr := rng.Uint64() % 512
+			if z.Lookup(addr) >= 0 {
+				continue
+			}
+			cands := z.Candidates(addr)
+			victim := cands[int(p)%len(cands)]
+			z.Install(addr, victim)
+			if z.Lookup(addr) < 0 {
+				return false
+			}
+		}
+		valid := 0
+		for i := 0; i < z.Lines(); i++ {
+			if _, ok := z.AddrOf(i); ok {
+				valid++
+			}
+		}
+		return valid <= z.Lines()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkSetAssocAccess(b *testing.B) {
+	a := NewSetAssoc(8192, 16, IndexXOR, 1)
+	rng := xrand.New(2)
+	fill(a, 8192, rng)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		addr := rng.Uint64() % 100000
+		if a.Lookup(addr) < 0 {
+			c := a.Candidates(addr)
+			a.Install(addr, c[i%16])
+		}
+	}
+}
+
+func BenchmarkZCacheWalk(b *testing.B) {
+	z := NewZCache(8192, 4, 3, 1)
+	rng := xrand.New(2)
+	fill(z, 8192, rng)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		addr := rng.Uint64() % 100000
+		if z.Lookup(addr) < 0 {
+			c := z.Candidates(addr)
+			z.Install(addr, c[i%len(c)])
+		}
+	}
+}

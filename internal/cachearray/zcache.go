@@ -1,0 +1,189 @@
+package cachearray
+
+import (
+	"fmt"
+
+	"fscache/internal/hashing"
+)
+
+// ZCache implements a zcache: a W-way array (one hash function per way, like
+// a skew cache) whose replacement process walks the candidate graph to
+// obtain far more replacement candidates than ways. A depth-L walk yields up
+// to W + W(W−1) + … + W(W−1)^(L−1) candidates (Z4/52 uses W=4, L=3).
+// Evicting a candidate at depth d relocates d lines along the walk path so
+// that the incoming address can be installed at one of its own W positions.
+//
+// The zcache is the origin of the paper's analytical framework [17]: with
+// good H3 hashing its candidates are nearly independent and uniform, which
+// is why the Uniformity Assumption is "statistically close enough in a
+// practical cache" (§IV-A).
+type ZCache struct {
+	ways   int
+	sets   int
+	levels int
+	family *hashing.Family
+	addrs  []uint64
+	valid  []bool
+
+	// Walk state captured by Candidates for the subsequent Install.
+	walkAddr  uint64
+	walkValid bool
+	nodes     []walkNode
+	buf       []int
+	moves     []Move
+}
+
+type walkNode struct {
+	line   int
+	parent int // index into nodes; -1 for the W root positions
+}
+
+// NewZCache builds a zcache of the given total lines, ways (hash functions)
+// and walk depth levels ≥ 1. lines and ways must be powers of two.
+func NewZCache(lines, ways, levels int, seed uint64) *ZCache {
+	checkPow2(lines, "lines")
+	checkPow2(ways, "ways")
+	if ways < 2 {
+		panic("cachearray: zcache needs at least 2 ways")
+	}
+	if ways > lines {
+		panic("cachearray: ways exceed lines")
+	}
+	if levels < 1 {
+		panic("cachearray: zcache needs at least 1 level")
+	}
+	sets := lines / ways
+	return &ZCache{
+		ways:   ways,
+		sets:   sets,
+		levels: levels,
+		family: hashing.NewFamily(seed, ways, sets),
+		addrs:  make([]uint64, lines),
+		valid:  make([]bool, lines),
+	}
+}
+
+// Name implements Array.
+func (z *ZCache) Name() string {
+	return fmt.Sprintf("zcache-Z%d/%d", z.ways, z.MaxCandidates())
+}
+
+// MaxCandidates returns the candidate count of a full-depth walk with no
+// duplicate positions: W + W(W−1) + … .
+func (z *ZCache) MaxCandidates() int {
+	n, level := 0, z.ways
+	for l := 0; l < z.levels; l++ {
+		n += level
+		level *= z.ways - 1
+	}
+	return n
+}
+
+// Lines implements Array.
+func (z *ZCache) Lines() int { return z.sets * z.ways }
+
+func (z *ZCache) pos(way int, addr uint64) int {
+	return way*z.sets + int(z.family.Hash(way, addr))
+}
+
+// Lookup implements Array. Lookups check only the W direct positions — the
+// whole point of the zcache is that hits stay as cheap as a W-way cache.
+func (z *ZCache) Lookup(addr uint64) int {
+	for w := 0; w < z.ways; w++ {
+		i := z.pos(w, addr)
+		if z.valid[i] && z.addrs[i] == addr {
+			return i
+		}
+	}
+	return -1
+}
+
+// Candidates implements Array by performing the replacement walk. The
+// returned lines are deduplicated; free (invalid) lines are included but not
+// expanded (there is no resident address to relocate through them).
+func (z *ZCache) Candidates(addr uint64) []int {
+	z.nodes = z.nodes[:0]
+	z.buf = z.buf[:0]
+	z.walkAddr = addr
+	z.walkValid = true
+
+	seen := func(line int) bool {
+		for _, n := range z.nodes {
+			if n.line == line {
+				return true
+			}
+		}
+		return false
+	}
+	// Level 0: the incoming address's own positions.
+	for w := 0; w < z.ways; w++ {
+		p := z.pos(w, addr)
+		if !seen(p) {
+			z.nodes = append(z.nodes, walkNode{line: p, parent: -1})
+		}
+	}
+	levelStart, levelEnd := 0, len(z.nodes)
+	for l := 1; l < z.levels; l++ {
+		for i := levelStart; i < levelEnd; i++ {
+			line := z.nodes[i].line
+			if !z.valid[line] {
+				continue // free line: terminal candidate
+			}
+			resident := z.addrs[line]
+			for w := 0; w < z.ways; w++ {
+				p := z.pos(w, resident)
+				if p == line || seen(p) {
+					continue
+				}
+				z.nodes = append(z.nodes, walkNode{line: p, parent: i})
+			}
+		}
+		levelStart, levelEnd = levelEnd, len(z.nodes)
+	}
+	for _, n := range z.nodes {
+		z.buf = append(z.buf, n.line)
+	}
+	return z.buf
+}
+
+// AddrOf implements Array.
+func (z *ZCache) AddrOf(line int) (uint64, bool) {
+	return z.addrs[line], z.valid[line]
+}
+
+// Install implements Array. victim must come from the Candidates call for
+// the same address; lines along the walk path from the victim back to a
+// root are relocated (returned as Moves, applied in order) and addr is
+// installed at the vacated root.
+func (z *ZCache) Install(addr uint64, victim int) []Move {
+	if !z.walkValid || addr != z.walkAddr {
+		panic("cachearray: Install without a matching Candidates walk")
+	}
+	z.walkValid = false
+	nodeIdx := -1
+	for i, n := range z.nodes {
+		if n.line == victim {
+			nodeIdx = i
+			break
+		}
+	}
+	if nodeIdx < 0 {
+		panic("cachearray: victim was not a walk candidate")
+	}
+	z.moves = z.moves[:0]
+	// Relocate parent contents downward along the path, child-first: each
+	// copy reads a parent line that has not yet been overwritten.
+	cur := nodeIdx
+	for z.nodes[cur].parent >= 0 {
+		p := z.nodes[cur].parent
+		from, to := z.nodes[p].line, z.nodes[cur].line
+		z.addrs[to] = z.addrs[from]
+		z.valid[to] = z.valid[from]
+		z.moves = append(z.moves, Move{From: from, To: to})
+		cur = p
+	}
+	root := z.nodes[cur].line
+	z.addrs[root] = addr
+	z.valid[root] = true
+	return z.moves
+}

@@ -1,0 +1,406 @@
+package core
+
+import (
+	"fmt"
+
+	"fscache/internal/cachearray"
+	"fscache/internal/futility"
+	"fscache/internal/stats"
+	"fscache/internal/trace"
+)
+
+// Config assembles a partitioned cache.
+type Config struct {
+	// Array is the cache array organization.
+	Array cachearray.Array
+	// Ranker is the decision futility ranking used by the scheme.
+	Ranker futility.Ranker
+	// Reference, if non-nil, is an exact ranker maintained purely for
+	// measurement: eviction futility (AEF) is always taken from it. If nil,
+	// Ranker doubles as the reference.
+	Reference futility.Ranker
+	// Scheme is the partitioning scheme.
+	Scheme Scheme
+	// Parts is the number of partitions (including any scheme-private
+	// pseudo-partition such as Vantage's unmanaged region).
+	Parts int
+	// TrackDeviation enables per-eviction sampling of each partition's
+	// deviation from target (Fig. 5); costs O(parts) per eviction.
+	TrackDeviation bool
+	// HistBuckets sets the eviction-futility histogram resolution
+	// (default 64).
+	HistBuckets int
+}
+
+// PartStats aggregates per-partition measurements.
+type PartStats struct {
+	Hits        uint64
+	Misses      uint64
+	Insertions  uint64
+	Evictions   uint64
+	Demotions   uint64
+	ForcedEvict uint64
+	// EvictFutility is the associativity distribution: the reference
+	// futility of every line evicted from this partition.
+	EvictFutility *stats.Histogram
+	// Deviation samples actual−target after every replacement when enabled.
+	Deviation *stats.IntDist
+	// occupancySum accumulates the partition's size at every access.
+	occupancySum uint64
+}
+
+// AEF returns the partition's average eviction futility.
+func (p *PartStats) AEF() float64 { return p.EvictFutility.Mean() }
+
+// MissRate returns misses/(hits+misses), or 0 with no accesses.
+func (p *PartStats) MissRate() float64 {
+	t := p.Hits + p.Misses
+	if t == 0 {
+		return 0
+	}
+	return float64(p.Misses) / float64(t)
+}
+
+// Cache is the partitioned-cache controller: the paper's three-component
+// cache model wired together. It is not safe for concurrent use.
+type Cache struct {
+	array    cachearray.Array
+	ranker   futility.Ranker
+	ref      futility.Ranker // == ranker when no separate reference
+	sameRef  bool
+	scheme   Scheme
+	parts    int
+	devTrack bool
+
+	// linePart is the partition a line counts against for sizing decisions;
+	// lineOwner is the partition whose application inserted the line. They
+	// differ only after a demotion (Vantage): the demoted line belongs to
+	// the unmanaged pseudo-partition for sizing but its eviction futility is
+	// still measured within its owner's working set.
+	linePart  []int
+	lineOwner []int
+
+	sizes   []int // decision sizes, indexed by partition
+	owned   []int // owner sizes (reference-ranker populations)
+	targets []int
+
+	seq      uint64
+	accesses uint64
+	pstats   []PartStats
+
+	candBuf  []Candidate
+	worstBuf []Candidate
+	freer    cachearray.Freer
+	allCands bool
+	fullSel  FullSelector
+	worst    futility.WorstTracker
+	refWorst futility.WorstTracker
+}
+
+// New builds a controller from cfg. It panics on inconsistent configuration
+// (these are programming errors in experiment setup, not runtime
+// conditions).
+func New(cfg Config) *Cache {
+	if cfg.Array == nil || cfg.Ranker == nil || cfg.Scheme == nil {
+		panic("core: Array, Ranker and Scheme are required")
+	}
+	if cfg.Parts <= 0 {
+		panic("core: Parts must be positive")
+	}
+	hb := cfg.HistBuckets
+	if hb == 0 {
+		hb = 64
+	}
+	n := cfg.Array.Lines()
+	c := &Cache{
+		array:     cfg.Array,
+		ranker:    cfg.Ranker,
+		ref:       cfg.Reference,
+		scheme:    cfg.Scheme,
+		parts:     cfg.Parts,
+		devTrack:  cfg.TrackDeviation,
+		linePart:  make([]int, n),
+		lineOwner: make([]int, n),
+		sizes:     make([]int, cfg.Parts),
+		owned:     make([]int, cfg.Parts),
+		targets:   make([]int, cfg.Parts),
+		pstats:    make([]PartStats, cfg.Parts),
+	}
+	if c.ref == nil {
+		c.ref = cfg.Ranker
+		c.sameRef = true
+	}
+	for i := range c.linePart {
+		c.linePart[i] = -1
+		c.lineOwner[i] = -1
+	}
+	for i := range c.pstats {
+		c.pstats[i].EvictFutility = stats.NewHistogram(hb)
+		c.pstats[i].Deviation = stats.NewIntDist()
+	}
+	c.freer, _ = cfg.Array.(cachearray.Freer)
+	if ac, ok := cfg.Array.(cachearray.AllCandidates); ok {
+		c.allCands = ac.AllLinesAreCandidates()
+	}
+	c.fullSel, _ = cfg.Scheme.(FullSelector)
+	c.worst, _ = cfg.Ranker.(futility.WorstTracker)
+	c.refWorst, _ = c.ref.(futility.WorstTracker)
+	if c.allCands && (c.fullSel == nil || c.worst == nil) {
+		panic("core: fully-associative arrays need a FullSelector scheme and a WorstTracker ranker")
+	}
+	c.scheme.Bind(c.sizes)
+	return c
+}
+
+// SetTargets installs per-partition target sizes (in lines) and forwards
+// them to the scheme. len(targets) must equal Parts.
+func (c *Cache) SetTargets(targets []int) {
+	if len(targets) != c.parts {
+		panic("core: SetTargets length mismatch")
+	}
+	copy(c.targets, targets)
+	c.scheme.SetTargets(c.targets)
+}
+
+// Targets returns the current target sizes (read-only view).
+func (c *Cache) Targets() []int { return c.targets }
+
+// Sizes returns the live actual sizes (read-only view).
+func (c *Cache) Sizes() []int { return c.sizes }
+
+// Parts returns the partition count.
+func (c *Cache) Parts() int { return c.parts }
+
+// Stats returns the per-partition statistics (live; do not mutate).
+func (c *Cache) Stats(part int) *PartStats { return &c.pstats[part] }
+
+// Accesses returns the total access count.
+func (c *Cache) Accesses() uint64 { return c.accesses }
+
+// MeanOccupancy returns the partition's time-averaged size in lines,
+// sampled at every access.
+func (c *Cache) MeanOccupancy(part int) float64 {
+	if c.accesses == 0 {
+		return 0
+	}
+	return float64(c.pstats[part].occupancySum) / float64(c.accesses)
+}
+
+// ResetStats clears all measurement state (hit/miss counters, eviction
+// futility histograms, deviation samples, occupancy accumulators) without
+// touching cache contents. Experiments call it after warmup so reported
+// distributions exclude the fill phase.
+func (c *Cache) ResetStats() {
+	hb := len(c.pstats[0].EvictFutility.CDF())
+	for i := range c.pstats {
+		c.pstats[i] = PartStats{
+			EvictFutility: stats.NewHistogram(hb),
+			Deviation:     stats.NewIntDist(),
+		}
+	}
+	c.accesses = 0
+}
+
+// AccessResult reports what one access did.
+type AccessResult struct {
+	// Hit reports whether the access hit.
+	Hit bool
+	// Evicted reports whether a valid line was evicted.
+	Evicted bool
+	// EvictedPart is the owner partition of the evicted line (valid when
+	// Evicted).
+	EvictedPart int
+	// EvictedFutility is the reference futility of the evicted line (valid
+	// when Evicted).
+	EvictedFutility float64
+}
+
+// Access performs one cache access for partition part. nextUse is the
+// trace's precomputed next-use index for OPT ranking (trace.NoNextUse when
+// unknown or unused).
+func (c *Cache) Access(addr uint64, part int, nextUse int64) AccessResult {
+	if part < 0 || part >= c.parts {
+		panic(fmt.Sprintf("core: partition %d out of range", part))
+	}
+	c.seq++
+	c.accesses++
+	ctx := futility.Context{Seq: c.seq, NextUse: nextUse}
+	defer c.sampleOccupancy()
+
+	if line := c.array.Lookup(addr); line >= 0 {
+		c.pstats[c.lineOwner[line]].Hits++
+		c.ranker.OnHit(line, c.linePart[line], ctx)
+		if !c.sameRef {
+			c.ref.OnHit(line, c.lineOwner[line], ctx)
+		}
+		return AccessResult{Hit: true}
+	}
+
+	c.pstats[part].Misses++
+	res := AccessResult{}
+
+	victim := -1
+	if c.freer != nil {
+		victim = c.freer.FreeLine(addr)
+	}
+	if victim < 0 {
+		cands := c.array.Candidates(addr)
+		for _, l := range cands {
+			if _, valid := c.array.AddrOf(l); !valid {
+				victim = l
+				break
+			}
+		}
+		if victim < 0 {
+			victim = c.choose(cands, part)
+		}
+	}
+
+	// Evict the victim if it holds a valid line.
+	if _, valid := c.array.AddrOf(victim); valid {
+		dp := c.linePart[victim]
+		owner := c.lineOwner[victim]
+		// With a dedicated reference ranker, futility is measured within the
+		// owner's working set (demotions do not move reference state); when
+		// the decision ranker doubles as reference, it tracks the line under
+		// its decision partition.
+		refPart := owner
+		if c.sameRef {
+			refPart = dp
+		}
+		ef := c.ref.Futility(victim, refPart)
+		ps := &c.pstats[owner]
+		ps.Evictions++
+		ps.EvictFutility.Add(ef)
+		c.ranker.OnEvict(victim, dp)
+		if !c.sameRef {
+			c.ref.OnEvict(victim, owner)
+		}
+		c.sizes[dp]--
+		c.owned[owner]--
+		c.scheme.OnEviction(dp)
+		res.Evicted = true
+		res.EvictedPart = owner
+		res.EvictedFutility = ef
+		c.linePart[victim] = -1
+		c.lineOwner[victim] = -1
+	}
+
+	moves := c.array.Install(addr, victim)
+	for _, m := range moves {
+		dp := c.linePart[m.From]
+		owner := c.lineOwner[m.From]
+		c.ranker.OnMove(m.From, m.To, dp)
+		if !c.sameRef {
+			c.ref.OnMove(m.From, m.To, owner)
+		}
+		c.linePart[m.To] = dp
+		c.lineOwner[m.To] = owner
+		c.linePart[m.From] = -1
+		c.lineOwner[m.From] = -1
+	}
+
+	line := c.array.Lookup(addr)
+	if line < 0 {
+		panic("core: address not resident after Install")
+	}
+	c.linePart[line] = part
+	c.lineOwner[line] = part
+	c.ranker.OnInsert(line, part, ctx)
+	if !c.sameRef {
+		c.ref.OnInsert(line, part, ctx)
+	}
+	c.sizes[part]++
+	c.owned[part]++
+	c.pstats[part].Insertions++
+	c.scheme.OnInsert(part)
+
+	if c.devTrack {
+		for p := 0; p < c.parts; p++ {
+			c.pstats[p].Deviation.Add(c.sizes[p] - c.targets[p])
+		}
+	}
+	return res
+}
+
+// choose runs the scheme over valid candidates, applying demotions.
+func (c *Cache) choose(cands []int, insertPart int) int {
+	if c.allCands {
+		return c.chooseFull(insertPart)
+	}
+	c.candBuf = c.candBuf[:0]
+	for _, l := range cands {
+		p := c.linePart[l]
+		c.candBuf = append(c.candBuf, Candidate{
+			Line:     l,
+			Part:     p,
+			Futility: c.ranker.Futility(l, p),
+			Raw:      c.ranker.Raw(l, p),
+		})
+	}
+	d := c.scheme.Decide(c.candBuf, insertPart)
+	if d.Victim < 0 || d.Victim >= len(c.candBuf) {
+		panic("core: scheme returned victim out of range")
+	}
+	for _, di := range d.Demote {
+		if di == d.Victim {
+			panic("core: scheme demoted the victim")
+		}
+		c.demote(c.candBuf[di].Line, d.DemoteTo)
+	}
+	if d.Forced {
+		c.pstats[c.lineOwner[c.candBuf[d.Victim].Line]].ForcedEvict++
+	}
+	return c.candBuf[d.Victim].Line
+}
+
+// chooseFull is the fully-associative fast path: one candidate per
+// non-empty partition (its most useless line).
+func (c *Cache) chooseFull(insertPart int) int {
+	c.worstBuf = c.worstBuf[:0]
+	for p := 0; p < c.parts; p++ {
+		if c.sizes[p] == 0 {
+			continue
+		}
+		l := c.worst.Worst(p)
+		if l < 0 {
+			panic("core: WorstTracker disagrees with size accounting")
+		}
+		c.worstBuf = append(c.worstBuf, Candidate{
+			Line:     l,
+			Part:     p,
+			Futility: c.ranker.Futility(l, p),
+			Raw:      c.ranker.Raw(l, p),
+		})
+	}
+	if len(c.worstBuf) == 0 {
+		panic("core: full array with no resident lines")
+	}
+	i := c.fullSel.DecideFull(c.worstBuf, insertPart)
+	if i < 0 || i >= len(c.worstBuf) {
+		panic("core: scheme returned full-path victim out of range")
+	}
+	return c.worstBuf[i].Line
+}
+
+// demote moves a resident line to partition to (sizing only; the owner and
+// reference-ranker population are unchanged).
+func (c *Cache) demote(line, to int) {
+	from := c.linePart[line]
+	if from == to {
+		return
+	}
+	c.ranker.OnEvict(line, from)
+	c.ranker.OnInsert(line, to, futility.Context{Seq: c.seq, NextUse: trace.NoNextUse})
+	c.sizes[from]--
+	c.sizes[to]++
+	c.linePart[line] = to
+	c.pstats[c.lineOwner[line]].Demotions++
+	c.scheme.OnEviction(from) // a demotion drains the partition like an eviction
+}
+
+func (c *Cache) sampleOccupancy() {
+	for p := 0; p < c.parts; p++ {
+		c.pstats[p].occupancySum += uint64(c.sizes[p])
+	}
+}

@@ -1,0 +1,68 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"fscache/internal/cachearray"
+	"fscache/internal/futility"
+	"fscache/internal/trace"
+	"fscache/internal/xrand"
+)
+
+// §VI: FS is conceptually independent of the futility ranking scheme. Run
+// the feedback scheme over every ranking family and check sizing holds.
+func TestFSOverEveryRanking(t *testing.T) {
+	const lines = 2048
+	for _, kind := range []futility.Kind{
+		futility.LRU, futility.LFU, futility.OPT,
+		futility.CoarseLRU, futility.SegmentedLRU,
+	} {
+		t.Run(kind.String(), func(t *testing.T) {
+			fs := NewFSFeedback(2, FSFeedbackConfig{})
+			c := New(Config{
+				Array:  cachearray.NewRandom(lines, 16, 7),
+				Ranker: futility.New(kind, lines, 2, 8),
+				Scheme: fs,
+				Parts:  2,
+			})
+			c.SetTargets([]int{1536, 512})
+			rng := xrand.New(9)
+			next := [2]uint64{1 << 40, 2 << 40}
+			for i := 0; i < 30*lines; i++ {
+				p := 0
+				if rng.Float64() < 0.5 {
+					p = 1
+				}
+				// OPT needs a next-use; for a fresh-line stream there is none.
+				c.Access(next[p], p, trace.NoNextUse)
+				next[p]++
+			}
+			if s := c.Sizes()[0]; math.Abs(float64(s)-1536) > 0.08*1536 {
+				t.Fatalf("%v ranking: partition 0 size %d, want ≈1536 (α=%v)",
+					kind, s, fs.Alphas())
+			}
+		})
+	}
+}
+
+func TestFSFeedbackAlphaBounds(t *testing.T) {
+	fs := NewFSFeedback(1, FSFeedbackConfig{Interval: 1, Delta: 2, AlphaMax: 8})
+	fs.SetTargets([]int{0})
+	actual := []int{100} // permanently oversized
+	fs.Bind(actual)
+	for i := 0; i < 100; i++ {
+		fs.OnInsert(0)
+	}
+	if a := fs.Alphas()[0]; a != 8 {
+		t.Fatalf("alpha = %v, want saturated at 8", a)
+	}
+	// Now permanently undersized and shrinking: alpha floors at 1.
+	fs.SetTargets([]int{1000})
+	for i := 0; i < 100; i++ {
+		fs.OnEviction(0)
+	}
+	if a := fs.Alphas()[0]; a != 1 {
+		t.Fatalf("alpha = %v, want floored at 1", a)
+	}
+}

@@ -1,0 +1,414 @@
+// Package experiments reproduces every figure and table of the paper's
+// evaluation (see DESIGN.md §3 for the experiment index). Each FigN
+// function runs at a configurable Scale and returns a typed result that can
+// print itself in paper-style rows; cmd/fstables drives them all.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+
+	"fscache/internal/baselines"
+	"fscache/internal/cachearray"
+	"fscache/internal/core"
+	"fscache/internal/futility"
+	"fscache/internal/trace"
+	"fscache/internal/workload"
+	"fscache/internal/xrand"
+)
+
+// Scale sets experiment fidelity. Full reproduces the paper's
+// configuration (8 MB L2, 512 KB partitions); Quick shrinks caches and
+// traces ~8× for tests and benchmarks while preserving every qualitative
+// shape.
+type Scale struct {
+	// Name labels reports.
+	Name string
+	// L2Lines is the shared L2 size in 64 B lines (Table II: 8 MB → 131072).
+	L2Lines int
+	// PartLines is the per-partition size for Fig. 2 (512 KB → 8192).
+	PartLines int
+	// SubjectLines is the QoS guarantee for Fig. 7 (256 KB → 4096).
+	SubjectLines int
+	// TraceLen is the per-thread L2 access count for timing experiments.
+	TraceLen int
+	// AnalyticLines is the random-candidates cache for Fig. 4/5 (2 MB →
+	// 32768).
+	AnalyticLines int
+	// Insertions is the insertion count driven through the analytical
+	// cache experiments (Fig. 4/5).
+	Insertions int
+	// L1Lines sizes each private L1 filter (32 KB → 512 lines at full
+	// scale).
+	L1Lines int
+	// WorkloadShrink divides workload region sizes so working-set-to-cache
+	// ratios survive cache downscaling (1 at full scale).
+	WorkloadShrink int
+	// Seed roots all pseudo-randomness.
+	Seed uint64
+}
+
+// Full returns the paper-fidelity scale.
+func Full() Scale {
+	return Scale{
+		Name:           "full",
+		L2Lines:        131072,
+		PartLines:      8192,
+		SubjectLines:   4096,
+		TraceLen:       120000,
+		AnalyticLines:  32768,
+		Insertions:     1500000,
+		L1Lines:        512,
+		WorkloadShrink: 1,
+		Seed:           20140621, // MICRO-47 submission-ish vintage
+	}
+}
+
+// Quick returns a reduced scale for tests and benchmarks.
+func Quick() Scale {
+	return Scale{
+		Name:           "quick",
+		L2Lines:        16384,
+		PartLines:      2048,
+		SubjectLines:   512,
+		TraceLen:       12000,
+		AnalyticLines:  8192,
+		Insertions:     150000,
+		L1Lines:        256,
+		WorkloadShrink: 6,
+		Seed:           20140621,
+	}
+}
+
+// SchemeName identifies a partitioning scheme configuration.
+type SchemeName string
+
+// Scheme configurations used across experiments.
+const (
+	// SchemeFS is feedback-based Futility Scaling (§V).
+	SchemeFS SchemeName = "fs"
+	// SchemePF is Partitioning-First (Algorithm 1).
+	SchemePF SchemeName = "pf"
+	// SchemePriSM is probabilistic shared-cache management.
+	SchemePriSM SchemeName = "prism"
+	// SchemeVantage is Vantage with the paper's parameters.
+	SchemeVantage SchemeName = "vantage"
+	// SchemeCQVP is quota-violation prohibition.
+	SchemeCQVP SchemeName = "cqvp"
+	// SchemeUnmanaged is the no-partitioning baseline.
+	SchemeUnmanaged SchemeName = "unmanaged"
+	// SchemeFullAssoc is PF on a fully-associative array (ideal).
+	SchemeFullAssoc SchemeName = "fullassoc"
+	// SchemeWayPart is placement-based way-partitioning (§II-B).
+	SchemeWayPart SchemeName = "waypart"
+)
+
+// AllQoSSchemes lists the schemes compared in Fig. 7, in the paper's order.
+func AllQoSSchemes() []SchemeName {
+	return []SchemeName{SchemePF, SchemePriSM, SchemeVantage, SchemeFS, SchemeFullAssoc}
+}
+
+// ArrayKind identifies a cache-array organization for CacheSpec.
+type ArrayKind string
+
+// Array kinds.
+const (
+	Array16Way     ArrayKind = "setassoc-16"
+	ArrayRandom16  ArrayKind = "random-16"
+	ArrayFullyAssc ArrayKind = "fullyassoc"
+	ArrayDirect    ArrayKind = "directmapped"
+	ArrayZ4        ArrayKind = "zcache-z4/52"
+	ArraySkew8     ArrayKind = "skew-8"
+)
+
+// CacheSpec assembles a partitioned L2 for an experiment.
+type CacheSpec struct {
+	Lines int
+	Array ArrayKind
+	// RandomR overrides the candidate count of ArrayRandom16 (default 16).
+	RandomR        int
+	Rank           futility.Kind
+	Scheme         SchemeName
+	Parts          int // application partitions
+	Seed           uint64
+	TrackDeviation bool
+}
+
+// Built is the assembled cache plus scheme handles experiments may need.
+type Built struct {
+	Cache *core.Cache
+	// TotalParts includes scheme-private pseudo-partitions (Vantage's
+	// unmanaged region).
+	TotalParts int
+	// FSFixed is non-nil when the scheme is fs-fixed (set via WithAlphas).
+	FSFixed *core.FSFixed
+	// FSFeedback is non-nil for SchemeFS.
+	FSFeedback *core.FSFeedback
+	// PriSM is non-nil for SchemePriSM.
+	PriSM *baselines.PriSM
+	// Vantage is non-nil for SchemeVantage.
+	Vantage *baselines.Vantage
+}
+
+// SetTargets installs targets for the application partitions, padding
+// pseudo-partitions with zero.
+func (b *Built) SetTargets(appTargets []int) {
+	t := make([]int, b.TotalParts)
+	copy(t, appTargets)
+	b.Cache.SetTargets(t)
+}
+
+// FSFeedbackParams overrides the feedback controller for sensitivity
+// studies; zero values keep defaults.
+type FSFeedbackParams struct {
+	Interval int
+	Delta    float64
+}
+
+// Build assembles the cache. fsParams applies only to SchemeFS.
+func Build(spec CacheSpec, fsParams FSFeedbackParams) *Built {
+	parts := spec.Parts
+	b := &Built{TotalParts: parts}
+
+	// The FullAssoc ideal scheme forces a fully associative array and an
+	// exact ranker (coarse timestamps have no worst-line tracking).
+	if spec.Scheme == SchemeFullAssoc {
+		spec.Array = ArrayFullyAssc
+	}
+	rank := spec.Rank
+	if spec.Array == ArrayFullyAssc && rank == futility.CoarseLRU {
+		rank = futility.LRU
+	}
+
+	var scheme core.Scheme
+	switch spec.Scheme {
+	case SchemeFS:
+		fs := core.NewFSFeedback(parts, core.FSFeedbackConfig{
+			Interval: fsParams.Interval,
+			Delta:    fsParams.Delta,
+		})
+		b.FSFeedback = fs
+		scheme = fs
+	case SchemePF, SchemeFullAssoc:
+		scheme = baselines.NewPF(parts)
+	case SchemePriSM:
+		p := baselines.NewPriSM(parts, baselines.DefaultPriSMWindow, xrand.Mix64(spec.Seed^0xbeef))
+		b.PriSM = p
+		scheme = p
+	case SchemeVantage:
+		b.TotalParts = parts + 1
+		v := baselines.NewVantage(b.TotalParts, parts, baselines.DefaultVantageConfig())
+		b.Vantage = v
+		scheme = v
+	case SchemeCQVP:
+		scheme = baselines.NewCQVP(parts)
+	case SchemeUnmanaged:
+		scheme = baselines.NewUnmanaged()
+	case SchemeWayPart:
+		if spec.Array != Array16Way {
+			panic("experiments: waypart requires the 16-way set-associative array")
+		}
+		scheme = baselines.NewWayPart(parts, 16)
+	case "fs-fixed":
+		fs := core.NewFSFixed(parts)
+		b.FSFixed = fs
+		scheme = fs
+	default:
+		panic(fmt.Sprintf("experiments: unknown scheme %q", spec.Scheme))
+	}
+
+	var arr cachearray.Array
+	aseed := xrand.Mix64(spec.Seed ^ 0xa77a)
+	switch spec.Array {
+	case Array16Way:
+		// H3 indexing rather than plain XOR folding: our synthetic address
+		// spaces are perfectly aligned (component bases in high bits), so
+		// XOR folds resonate at particular set counts and manufacture
+		// conflicts real page-randomized SPEC addresses would never see.
+		// H3 restores the "good hash indexing" premise of §III-B.
+		arr = cachearray.NewSetAssoc(spec.Lines, 16, cachearray.IndexH3, aseed)
+	case ArrayRandom16:
+		r := spec.RandomR
+		if r == 0 {
+			r = 16
+		}
+		arr = cachearray.NewRandom(spec.Lines, r, aseed)
+	case ArrayFullyAssc:
+		arr = cachearray.NewFullyAssoc(spec.Lines)
+	case ArrayDirect:
+		arr = cachearray.NewDirectMapped(spec.Lines, cachearray.IndexH3, aseed)
+	case ArrayZ4:
+		arr = cachearray.NewZCache(spec.Lines, 4, 3, aseed)
+	case ArraySkew8:
+		arr = cachearray.NewSkew(spec.Lines, 8, aseed)
+	default:
+		panic(fmt.Sprintf("experiments: unknown array %q", spec.Array))
+	}
+
+	ranker := futility.New(rank, spec.Lines, b.TotalParts, xrand.Mix64(spec.Seed^0x7a17))
+	var ref futility.Ranker
+	if rk := futility.Reference(rank); rk != rank {
+		ref = futility.New(rk, spec.Lines, b.TotalParts, xrand.Mix64(spec.Seed^0x4ef))
+	}
+
+	b.Cache = core.New(core.Config{
+		Array:          arr,
+		Ranker:         ranker,
+		Reference:      ref,
+		Scheme:         scheme,
+		Parts:          b.TotalParts,
+		TrackDeviation: spec.TrackDeviation,
+	})
+	return b
+}
+
+// insertionDriver realizes the paper's insertion-rate control (§IV-C): the
+// probability that the next insertion belongs to partition i equals the
+// configured I_i, implemented by feeding the chosen thread's trace until it
+// produces exactly one miss.
+type insertionDriver struct {
+	rng    *xrand.Rand
+	cum    []float64
+	gens   []trace.Generator
+	cache  *core.Cache
+	maxRun int
+}
+
+func newInsertionDriver(seed uint64, insProb []float64, gens []trace.Generator, cache *core.Cache) *insertionDriver {
+	if len(insProb) != len(gens) {
+		panic("experiments: insertion probabilities and generators mismatch")
+	}
+	cum := make([]float64, len(insProb))
+	acc := 0.0
+	for i, p := range insProb {
+		acc += p
+		cum[i] = acc
+	}
+	return &insertionDriver{
+		rng:    xrand.New(seed),
+		cum:    cum,
+		gens:   gens,
+		cache:  cache,
+		maxRun: 100000,
+	}
+}
+
+// insert feeds one insertion (miss) into a partition drawn from the
+// configured distribution.
+func (d *insertionDriver) insert() {
+	u := d.rng.Float64()
+	p := 0
+	for p < len(d.cum)-1 && u >= d.cum[p] {
+		p++
+	}
+	d.insertInto(p)
+}
+
+// insertInto feeds the chosen thread's trace until one miss occurs.
+func (d *insertionDriver) insertInto(p int) {
+	for n := 0; ; n++ {
+		if n >= d.maxRun {
+			panic("experiments: generator produced no miss; working set fits the partition")
+		}
+		a := d.gens[p].Next()
+		if !d.cache.Access(a.Addr, p, trace.NoNextUse).Hit {
+			return
+		}
+	}
+}
+
+// fillToTargets warms the cache by steering insertions into whichever
+// partition is below its target until the cache is full, so measurements
+// start from the stationary split rather than an insertion-proportional
+// fill that would take many multiples of the cache size to relax.
+func fillToTargets(d *insertionDriver, b *Built, targets []int) {
+	lines := 0
+	for _, t := range targets {
+		lines += t
+	}
+	for {
+		total := 0
+		under := -1
+		for p := range targets {
+			total += b.Cache.Sizes()[p]
+			if under < 0 && b.Cache.Sizes()[p] < targets[p] {
+				under = p
+			}
+		}
+		if total >= lines || under < 0 {
+			return
+		}
+		d.insertInto(under)
+	}
+}
+
+// freshLineGenerator yields an always-missing stream (disjoint fresh lines).
+type freshLineGenerator struct {
+	next uint64
+}
+
+func newFreshLineGenerator(space int) *freshLineGenerator {
+	return &freshLineGenerator{next: uint64(space+1) << 40}
+}
+
+// Next implements trace.Generator.
+func (g *freshLineGenerator) Next() trace.Access {
+	g.next++
+	return trace.Access{Addr: g.next}
+}
+
+// profileGenerator returns a benchmark generator at the scale's workload
+// shrink factor.
+func profileGenerator(scale Scale, bench string, seed uint64, thread int) trace.Generator {
+	p, err := workload.ByName(bench)
+	if err != nil {
+		panic(err)
+	}
+	return p.Shrunk(scale.WorkloadShrink).NewGenerator(seed, thread)
+}
+
+// mcfGenerator returns the workload generator for the paper's flagship
+// associativity-sensitive benchmark.
+func mcfGenerator(scale Scale, seed uint64, thread int) trace.Generator {
+	return profileGenerator(scale, "mcf", seed, thread)
+}
+
+func fprintf(w io.Writer, format string, args ...interface{}) {
+	if _, err := fmt.Fprintf(w, format, args...); err != nil {
+		panic(err)
+	}
+}
+
+// parallelFor runs fn(0..n-1) on up to GOMAXPROCS workers. Experiment cells
+// are independent and individually seeded, so results are identical to the
+// sequential order regardless of scheduling.
+func parallelFor(n int, fn func(i int)) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+}

@@ -1,0 +1,54 @@
+package experiments
+
+import (
+	"io"
+
+	"fscache/internal/analytic"
+)
+
+// Fig. 3: analytical scaling factors of partition 2 (α₂) as its size
+// fraction S₂ and insertion rate I₂ vary, with R = 16 candidates
+// (Equation (1)).
+
+// Fig3Point is one curve sample.
+type Fig3Point struct {
+	I2, S2 float64
+	Alpha2 float64
+	// Feasible is false where Equation (1) has no positive solution.
+	Feasible bool
+}
+
+// Fig3Result is the α₂ grid.
+type Fig3Result struct {
+	R      int
+	Points []Fig3Point
+}
+
+// Fig3 computes the paper's grid: I₂ ∈ {0.6, 0.7, 0.8, 0.9},
+// S₂ ∈ {0.20, 0.25, 0.30, 0.35, 0.40}.
+func Fig3() Fig3Result {
+	const r = 16
+	res := Fig3Result{R: r}
+	for _, i2 := range []float64{0.6, 0.7, 0.8, 0.9} {
+		for _, s2 := range []float64{0.20, 0.25, 0.30, 0.35, 0.40} {
+			a2, err := analytic.ScalingFactor2P(1-i2, 1-s2, r)
+			res.Points = append(res.Points, Fig3Point{
+				I2: i2, S2: s2, Alpha2: a2, Feasible: err == nil,
+			})
+		}
+	}
+	return res
+}
+
+// Print renders the grid as one row per (I₂, S₂).
+func (r Fig3Result) Print(w io.Writer) {
+	fprintf(w, "Fig.3: scaling factor α₂ from Eq.(1), R=%d\n", r.R)
+	fprintf(w, "%6s %6s %10s\n", "I2", "S2", "alpha2")
+	for _, p := range r.Points {
+		if !p.Feasible {
+			fprintf(w, "%6.2f %6.2f %10s\n", p.I2, p.S2, "infeasible")
+			continue
+		}
+		fprintf(w, "%6.2f %6.2f %10.3f\n", p.I2, p.S2, p.Alpha2)
+	}
+}

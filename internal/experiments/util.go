@@ -1,0 +1,106 @@
+package experiments
+
+import (
+	"io"
+
+	"fscache/internal/futility"
+	"fscache/internal/policy"
+	"fscache/internal/sim"
+	"fscache/internal/trace"
+)
+
+// Complete capacity-management stack (§II-A): an allocation policy decides
+// sizes, an enforcement scheme realizes them. This experiment runs a
+// heterogeneous 4-thread mix under three stacks —
+//
+//	equal targets + FS          (no utility information)
+//	UCP-style utility + FS      (UMON miss curves + lookahead allocation)
+//	unmanaged                   (no enforcement at all)
+//
+// and reports throughput. The utility policy should beat the equal split by
+// taking capacity from streaming threads (flat miss curves) and giving it
+// to reuse-heavy ones, with FS enforcing the chosen sizes.
+
+// UtilRow is one stack's outcome.
+type UtilRow struct {
+	Stack      string
+	Throughput float64
+	IPCs       []float64
+	Targets    []int
+}
+
+// UtilResult collects the comparison.
+type UtilResult struct {
+	Scale   Scale
+	Benches []string
+	Rows    []UtilRow
+}
+
+// UtilBenches is the heterogeneous mix: two cache-friendly threads, two
+// streamers.
+var UtilBenches = []string{"mcf", "gromacs", "lbm", "libquantum"}
+
+// Util runs the comparison.
+func Util(scale Scale) UtilResult {
+	res := UtilResult{Scale: scale, Benches: UtilBenches}
+	parts := len(UtilBenches)
+
+	// Per-thread traces, shared across stacks for paired comparison.
+	traces := make([]*trace.Trace, parts)
+	for t, bench := range UtilBenches {
+		gen := profileGenerator(scale, bench, seedStream(scale.Seed, "util"), t)
+		traces[t] = sim.BuildL2Trace(gen, sim.NewL1(scale.L1Lines, 4), scale.TraceLen, 0)
+	}
+
+	// UMONs observe each thread's L2 stream (shadow tags see the stream the
+	// shared cache would see).
+	monitors := make([]*policy.UMON, parts)
+	for t := range monitors {
+		monitors[t] = policy.NewUMON(32, 64)
+		for i := range traces[t].Accesses {
+			monitors[t].Observe(traces[t].Accesses[i].Addr)
+		}
+	}
+
+	equal := policy.Equal{Parts: parts}.Targets(scale.L2Lines)
+	util := (&policy.Utility{Monitors: monitors, MinLines: scale.L2Lines / 64}).Targets(scale.L2Lines)
+
+	res.Rows = append(res.Rows,
+		runUtilCase(scale, "equal+fs", SchemeFS, equal, traces),
+		runUtilCase(scale, "utility+fs", SchemeFS, util, traces),
+		runUtilCase(scale, "unmanaged", SchemeUnmanaged, equal, traces),
+	)
+	return res
+}
+
+func runUtilCase(scale Scale, stack string, scheme SchemeName, targets []int, traces []*trace.Trace) UtilRow {
+	b := Build(CacheSpec{
+		Lines:  scale.L2Lines,
+		Array:  Array16Way,
+		Rank:   futility.CoarseLRU,
+		Scheme: scheme,
+		Parts:  len(traces),
+		Seed:   seedStream(scale.Seed, "util"+stack),
+	}, FSFeedbackParams{})
+	b.SetTargets(targets)
+	results := sim.NewMulticore(b.Cache, sim.DefaultTiming(), traces).Run()
+	row := UtilRow{Stack: stack, Targets: targets}
+	for _, r := range results {
+		row.IPCs = append(row.IPCs, r.IPC())
+		row.Throughput += r.IPC()
+	}
+	return row
+}
+
+// Print renders the comparison.
+func (r UtilResult) Print(w io.Writer) {
+	fprintf(w, "Capacity-management stack (%s scale): mix %v\n", r.Scale.Name, r.Benches)
+	fprintf(w, "%-12s %10s   per-thread IPC (targets)\n", "stack", "thruput")
+	for _, row := range r.Rows {
+		fprintf(w, "%-12s %10.4f  ", row.Stack, row.Throughput)
+		for i, ipc := range row.IPCs {
+			fprintf(w, " %.3f(%d)", ipc, row.Targets[i])
+		}
+		fprintf(w, "\n")
+	}
+}

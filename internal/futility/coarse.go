@@ -1,0 +1,177 @@
+package futility
+
+// CoarseTS is the paper's practical futility ranking (§V-A): a coarse-grain
+// timestamp-based LRU. Each partition has an 8-bit current timestamp,
+// incremented once every K accesses to the partition, with K = 1/16 of the
+// partition's size. A line is tagged with its partition's current timestamp
+// on insertion and on every hit. The raw futility of a line tagged x in
+// partition i is the unsigned 8-bit distance (CurrentTS_i − x) mod 256 —
+// exactly the subtraction the hardware performs.
+//
+// Raw distances are what the feedback FS controller shifts and compares.
+// For schemes needing a normalized quantile (Vantage's aperture test), the
+// ranker also maintains a per-partition histogram of recently observed
+// distances and reports the empirical CDF position of a line's distance —
+// a self-calibrating estimate a real controller could implement with a few
+// counters.
+type CoarseTS struct {
+	ts      []uint8 // per-line timestamp tag
+	present []bool
+	current []uint8  // per-partition current timestamp
+	counter []uint64 // per-partition accesses since last tick
+	size    []int    // per-partition resident-line count
+
+	hist  [][]uint32 // per-partition distance histogram (256 bins)
+	total []uint32   // per-partition histogram mass
+	cdf   [][]float64
+	dirty []uint32
+}
+
+// histRebuild is how many histogram updates may accumulate before the
+// cached CDF is rebuilt.
+const histRebuild = 4096
+
+// NewCoarseTS builds a coarse timestamp ranker for lines lines and parts
+// partitions.
+func NewCoarseTS(lines, parts int) *CoarseTS {
+	if lines <= 0 || parts <= 0 {
+		panic("futility: lines and parts must be positive")
+	}
+	c := &CoarseTS{
+		ts:      make([]uint8, lines),
+		present: make([]bool, lines),
+		current: make([]uint8, parts),
+		counter: make([]uint64, parts),
+		size:    make([]int, parts),
+		hist:    make([][]uint32, parts),
+		total:   make([]uint32, parts),
+		cdf:     make([][]float64, parts),
+		dirty:   make([]uint32, parts),
+	}
+	for i := 0; i < parts; i++ {
+		c.hist[i] = make([]uint32, 256)
+		c.cdf[i] = make([]float64, 256)
+		for d := range c.cdf[i] {
+			c.cdf[i][d] = float64(d+1) / 256 // prior: uniform distances
+		}
+	}
+	return c
+}
+
+// Name implements Ranker.
+func (c *CoarseTS) Name() string { return "coarse-lru" }
+
+// tick advances the partition's access counter and, every K = size/16
+// accesses (minimum 1), its current timestamp.
+func (c *CoarseTS) tick(part int) {
+	c.counter[part]++
+	k := uint64(c.size[part] / 16)
+	if k == 0 {
+		k = 1
+	}
+	if c.counter[part] >= k {
+		c.counter[part] = 0
+		c.current[part]++
+	}
+}
+
+// OnInsert implements Ranker.
+func (c *CoarseTS) OnInsert(line, part int, ctx Context) {
+	if c.present[line] {
+		panic("futility: OnInsert of tracked line")
+	}
+	c.present[line] = true
+	c.size[part]++
+	c.tick(part)
+	c.ts[line] = c.current[part]
+}
+
+// OnHit implements Ranker.
+func (c *CoarseTS) OnHit(line, part int, ctx Context) {
+	if !c.present[line] {
+		panic("futility: OnHit of untracked line")
+	}
+	c.tick(part)
+	c.ts[line] = c.current[part]
+}
+
+// OnEvict implements Ranker.
+func (c *CoarseTS) OnEvict(line, part int) {
+	if !c.present[line] {
+		panic("futility: OnEvict of untracked line")
+	}
+	c.present[line] = false
+	c.size[part]--
+}
+
+// OnMove implements Ranker.
+func (c *CoarseTS) OnMove(from, to, part int) {
+	if !c.present[from] {
+		panic("futility: OnMove of untracked line")
+	}
+	if c.present[to] {
+		panic("futility: OnMove onto a tracked line")
+	}
+	c.ts[to] = c.ts[from]
+	c.present[from] = false
+	c.present[to] = true
+}
+
+// Raw implements Ranker: the 8-bit timestamp distance.
+func (c *CoarseTS) Raw(line, part int) uint64 {
+	if !c.present[line] {
+		panic("futility: Raw of untracked line")
+	}
+	d := uint64(uint8(c.current[part] - c.ts[line]))
+	c.observe(part, uint8(d))
+	return d
+}
+
+// Futility implements Ranker: the empirical CDF position of the line's
+// distance among recently observed distances in its partition.
+func (c *CoarseTS) Futility(line, part int) float64 {
+	if !c.present[line] {
+		panic("futility: Futility of untracked line")
+	}
+	d := uint8(c.current[part] - c.ts[line])
+	c.observe(part, d)
+	if c.dirty[part] >= histRebuild {
+		c.rebuild(part)
+	}
+	return c.cdf[part][d]
+}
+
+// Size implements Ranker.
+func (c *CoarseTS) Size(part int) int { return c.size[part] }
+
+func (c *CoarseTS) observe(part int, d uint8) {
+	c.hist[part][d]++
+	c.total[part]++
+	c.dirty[part]++
+	// Periodic halving keeps the histogram tracking the recent regime.
+	if c.total[part] >= 1<<20 {
+		var t uint32
+		for i := range c.hist[part] {
+			c.hist[part][i] /= 2
+			t += c.hist[part][i]
+		}
+		c.total[part] = t
+	}
+}
+
+func (c *CoarseTS) rebuild(part int) {
+	c.dirty[part] = 0
+	total := float64(c.total[part])
+	if total == 0 {
+		return
+	}
+	var cum uint64
+	for d := 0; d < 256; d++ {
+		cum += uint64(c.hist[part][d])
+		c.cdf[part][d] = float64(cum) / total
+	}
+}
+
+// CurrentTS exposes the partition's current timestamp (for tests and
+// debugging displays).
+func (c *CoarseTS) CurrentTS(part int) uint8 { return c.current[part] }

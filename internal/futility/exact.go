@@ -1,0 +1,202 @@
+package futility
+
+import (
+	"fscache/internal/ost"
+	"fscache/internal/xrand"
+)
+
+// ostRanker is the shared machinery of the exact rankers: one order-
+// statistic tree per partition, ordered so that ascending key order means
+// increasingly useless. Normalized futility is then rank/M and the worst
+// line is the tree maximum.
+type ostRanker struct {
+	name    string
+	trees   []*ost.Tree
+	keys    []ost.Key // per-line current tree key
+	present []bool
+	// ticket is a per-line stable tiebreak assigned at insert and preserved
+	// across moves, so relocating a line never reorders it among equals.
+	ticket     []uint64
+	nextTicket uint64
+}
+
+func newOSTRanker(name string, lines, parts int, seed uint64) *ostRanker {
+	if lines <= 0 || parts <= 0 {
+		panic("futility: lines and parts must be positive")
+	}
+	trees := make([]*ost.Tree, parts)
+	for i := range trees {
+		trees[i] = ost.New(xrand.Mix64(seed ^ uint64(i+0x51ed)))
+	}
+	return &ostRanker{
+		name:    name,
+		trees:   trees,
+		keys:    make([]ost.Key, lines),
+		present: make([]bool, lines),
+		ticket:  make([]uint64, lines),
+	}
+}
+
+func (r *ostRanker) Name() string { return r.name }
+
+// set installs or refreshes line's key.
+func (r *ostRanker) set(line, part int, primary uint64) {
+	if r.present[line] {
+		r.trees[part].Delete(r.keys[line])
+	} else {
+		r.nextTicket++
+		r.ticket[line] = r.nextTicket
+	}
+	k := ost.Key{Primary: primary, Tie: r.ticket[line]}
+	r.trees[part].Insert(k, int64(line))
+	r.keys[line] = k
+	r.present[line] = true
+}
+
+// OnEvict implements Ranker.
+func (r *ostRanker) OnEvict(line, part int) {
+	if !r.present[line] {
+		panic("futility: OnEvict of untracked line")
+	}
+	r.trees[part].Delete(r.keys[line])
+	r.present[line] = false
+}
+
+// OnMove implements Ranker.
+func (r *ostRanker) OnMove(from, to, part int) {
+	if !r.present[from] {
+		panic("futility: OnMove of untracked line")
+	}
+	if r.present[to] {
+		// Destination metadata is about to be overwritten by the controller
+		// applying the same move; it must already have been evicted/moved.
+		panic("futility: OnMove onto a tracked line")
+	}
+	k := r.keys[from]
+	r.trees[part].Delete(k)
+	r.present[from] = false
+	// The key (including its stable ticket tiebreak) is unchanged; only the
+	// stored line value is updated, so ordering is exactly preserved.
+	r.trees[part].Insert(k, int64(to))
+	r.keys[to] = k
+	r.ticket[to] = r.ticket[from]
+	r.present[to] = true
+}
+
+// Futility implements Ranker: ascending rank / partition size.
+func (r *ostRanker) Futility(line, part int) float64 {
+	if !r.present[line] {
+		panic("futility: Futility of untracked line")
+	}
+	rank, ok := r.trees[part].Rank(r.keys[line])
+	if !ok {
+		panic("futility: line key missing from partition tree")
+	}
+	return float64(rank) / float64(r.trees[part].Len())
+}
+
+// Raw implements Ranker. For exact rankers Raw is the futility scaled to 32
+// bits, so raw ordering matches normalized ordering.
+func (r *ostRanker) Raw(line, part int) uint64 {
+	return uint64(r.Futility(line, part) * (1 << 32))
+}
+
+// Size implements Ranker.
+func (r *ostRanker) Size(part int) int { return r.trees[part].Len() }
+
+// Worst implements WorstTracker.
+func (r *ostRanker) Worst(part int) int {
+	if r.trees[part].Len() == 0 {
+		return -1
+	}
+	_, line := r.trees[part].Max()
+	return int(line)
+}
+
+// ExactLRU ranks lines by recency of last access: the least recently used
+// line is most useless. Keys are the bitwise complement of the access
+// sequence number so that older accesses order later (more useless).
+type ExactLRU struct {
+	*ostRanker
+}
+
+// NewExactLRU returns an exact LRU ranker.
+func NewExactLRU(lines, parts int, seed uint64) *ExactLRU {
+	return &ExactLRU{newOSTRanker("exact-lru", lines, parts, seed)}
+}
+
+// OnInsert implements Ranker.
+func (r *ExactLRU) OnInsert(line, part int, ctx Context) {
+	if r.present[line] {
+		panic("futility: OnInsert of tracked line")
+	}
+	r.set(line, part, ^ctx.Seq)
+}
+
+// OnHit implements Ranker.
+func (r *ExactLRU) OnHit(line, part int, ctx Context) {
+	r.set(line, part, ^ctx.Seq)
+}
+
+// ExactLFU ranks lines by access frequency: the least frequently used line
+// is most useless. Keys are the complement of the hit count; ties are
+// broken by line index (stable, arbitrary), preserving a strict order.
+type ExactLFU struct {
+	*ostRanker
+	freq []uint64
+}
+
+// NewExactLFU returns an exact LFU ranker.
+func NewExactLFU(lines, parts int, seed uint64) *ExactLFU {
+	return &ExactLFU{
+		ostRanker: newOSTRanker("exact-lfu", lines, parts, seed),
+		freq:      make([]uint64, lines),
+	}
+}
+
+// OnInsert implements Ranker.
+func (r *ExactLFU) OnInsert(line, part int, ctx Context) {
+	if r.present[line] {
+		panic("futility: OnInsert of tracked line")
+	}
+	r.freq[line] = 1
+	r.set(line, part, ^uint64(1))
+}
+
+// OnHit implements Ranker.
+func (r *ExactLFU) OnHit(line, part int, ctx Context) {
+	r.freq[line]++
+	r.set(line, part, ^r.freq[line])
+}
+
+// OnMove implements Ranker, additionally moving the frequency counter.
+func (r *ExactLFU) OnMove(from, to, part int) {
+	r.ostRanker.OnMove(from, to, part)
+	r.freq[to] = r.freq[from]
+}
+
+// ExactOPT is Belady's clairvoyant ranking: the line whose next reference
+// lies farthest in the future is most useless; lines never referenced again
+// (NextUse = trace.NoNextUse) rank above everything.
+type ExactOPT struct {
+	*ostRanker
+}
+
+// NewExactOPT returns an exact OPT ranker. Callers must supply Context.
+// NextUse on every insert and hit (precomputed from the trace).
+func NewExactOPT(lines, parts int, seed uint64) *ExactOPT {
+	return &ExactOPT{newOSTRanker("exact-opt", lines, parts, seed)}
+}
+
+// OnInsert implements Ranker.
+func (r *ExactOPT) OnInsert(line, part int, ctx Context) {
+	if r.present[line] {
+		panic("futility: OnInsert of tracked line")
+	}
+	r.set(line, part, uint64(ctx.NextUse))
+}
+
+// OnHit implements Ranker.
+func (r *ExactOPT) OnHit(line, part int, ctx Context) {
+	r.set(line, part, uint64(ctx.NextUse))
+}

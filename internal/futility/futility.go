@@ -1,0 +1,120 @@
+// Package futility implements the paper's futility-ranking schemes (§III-A):
+// a strict total order of the uselessness of cache lines within each
+// partition, normalized so that the line ranked r-th of M has futility
+// f = r/M ∈ (0,1], larger meaning more useless.
+//
+// Exact rankers (LRU, LFU, OPT) keep an order-statistic tree per partition
+// and answer true normalized ranks; they serve both as decision rankers for
+// the analytical schemes and as measurement references for AEF statistics.
+// CoarseTS is the hardware design of §V: an 8-bit per-partition timestamp
+// whose distance to a line's tag estimates recency; it exposes the raw
+// distance for the feedback FS controller's shift-based scaling and a
+// self-calibrating normalized estimate for schemes that need quantiles.
+package futility
+
+import "fmt"
+
+// Context carries per-access information a ranker may need.
+type Context struct {
+	// Seq is a globally increasing access sequence number.
+	Seq uint64
+	// NextUse is the trace index of the next access to the same line
+	// (trace.NoNextUse if never), used by the OPT ranker.
+	NextUse int64
+}
+
+// Ranker maintains futility state for resident lines, keyed by line index.
+// The controller guarantees: OnInsert for a line precedes any OnHit/OnEvict;
+// OnEvict removes it; OnMove relocates state between line indices (zcache).
+type Ranker interface {
+	// Name identifies the ranking scheme.
+	Name() string
+	// OnInsert registers line as resident in partition part.
+	OnInsert(line, part int, ctx Context)
+	// OnHit refreshes the line's futility on an access hit.
+	OnHit(line, part int, ctx Context)
+	// OnEvict removes the line's state.
+	OnEvict(line, part int)
+	// OnMove transfers the state of line from to line to (same partition).
+	OnMove(from, to, part int)
+	// Futility returns the normalized futility of a resident line, in (0,1].
+	Futility(line, part int) float64
+	// Raw returns the scheme's raw futility measure for a resident line;
+	// larger is more useless. Only comparable within one partition unless
+	// the scheme documents otherwise.
+	Raw(line, part int) uint64
+	// Size returns the number of resident lines tracked in part.
+	Size(part int) int
+}
+
+// WorstTracker is implemented by rankers that can report the most useless
+// line of a partition in O(log M); the FullAssoc ideal scheme requires it.
+type WorstTracker interface {
+	// Worst returns the line with maximal futility in part, or -1 if empty.
+	Worst(part int) int
+}
+
+// Kind names a ranking scheme for configuration.
+type Kind int
+
+// Ranking scheme kinds.
+const (
+	// LRU ranks by recency: least recently used is most useless.
+	LRU Kind = iota
+	// LFU ranks by access frequency: least frequently used is most useless.
+	LFU
+	// OPT is Belady's clairvoyant ranking: the line whose next use is
+	// farthest in the future is most useless.
+	OPT
+	// CoarseLRU is the practical 8-bit timestamp LRU of §V.
+	CoarseLRU
+	// SegmentedLRU is scan-resistant SLRU (probation + protected segments).
+	SegmentedLRU
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case LRU:
+		return "lru"
+	case LFU:
+		return "lfu"
+	case OPT:
+		return "opt"
+	case CoarseLRU:
+		return "coarse-lru"
+	case SegmentedLRU:
+		return "slru"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// New builds a ranker of the given kind for a cache of lines lines and
+// parts partitions. seed feeds internal tree priorities.
+func New(kind Kind, lines, parts int, seed uint64) Ranker {
+	switch kind {
+	case LRU:
+		return NewExactLRU(lines, parts, seed)
+	case LFU:
+		return NewExactLFU(lines, parts, seed)
+	case OPT:
+		return NewExactOPT(lines, parts, seed)
+	case CoarseLRU:
+		return NewCoarseTS(lines, parts)
+	case SegmentedLRU:
+		return NewSLRU(lines, parts, 0.8, seed)
+	default:
+		panic("futility: unknown ranker kind")
+	}
+}
+
+// Reference returns the exact measurement ranker paired with a decision
+// ranker of kind k: AEF must always be measured against exact ranks even
+// when decisions use 8-bit timestamps (CoarseLRU → exact LRU).
+func Reference(k Kind) Kind {
+	if k == CoarseLRU {
+		return LRU
+	}
+	return k
+}

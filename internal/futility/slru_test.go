@@ -1,0 +1,174 @@
+package futility
+
+import (
+	"testing"
+
+	"fscache/internal/xrand"
+)
+
+func TestSLRUSegmentOrdering(t *testing.T) {
+	s := NewSLRU(16, 1, 0.8, 1)
+	seq := uint64(0)
+	next := func() Context { seq++; return Context{Seq: seq} }
+	// Insert three lines (probation), hit line 0 (→ protected).
+	s.OnInsert(0, 0, next())
+	s.OnInsert(1, 0, next())
+	s.OnInsert(2, 0, next())
+	s.OnHit(0, 0, next())
+	// Protected line 0 must be strictly less useless than both probation
+	// lines, even though line 1 was inserted after it.
+	if !(s.Futility(1, 0) > s.Futility(0, 0)) || !(s.Futility(2, 0) > s.Futility(0, 0)) {
+		t.Fatalf("protected line not protected: f0=%v f1=%v f2=%v",
+			s.Futility(0, 0), s.Futility(1, 0), s.Futility(2, 0))
+	}
+	// Worst is the probation LRU: line 1 (older than 2).
+	if w := s.Worst(0); w != 1 {
+		t.Fatalf("Worst = %d, want 1", w)
+	}
+	if s.ProtectedCount(0) != 1 {
+		t.Fatalf("protected count = %d", s.ProtectedCount(0))
+	}
+}
+
+func TestSLRUScanResistance(t *testing.T) {
+	const lines = 64
+	s := NewSLRU(lines, 1, 0.5, 2)
+	seq := uint64(0)
+	next := func() Context { seq++; return Context{Seq: seq} }
+	// Populate: hot lines 0..7 plus a scan flood 8..31 (never hit). The
+	// protected cap is a fraction of the *current* size, so the flood is
+	// inserted first; then the hot set is promoted.
+	for l := 0; l < 32; l++ {
+		s.OnInsert(l, 0, next())
+	}
+	for l := 0; l < 8; l++ {
+		s.OnHit(l, 0, next())
+	}
+	// Every scan line must rank as more useless than every protected line.
+	for scan := 8; scan < 32; scan++ {
+		for hot := 0; hot < 8; hot++ {
+			if s.Futility(scan, 0) <= s.Futility(hot, 0) {
+				t.Fatalf("scan line %d (f=%v) not above protected %d (f=%v)",
+					scan, s.Futility(scan, 0), hot, s.Futility(hot, 0))
+			}
+		}
+	}
+}
+
+func TestSLRUProtectedCap(t *testing.T) {
+	const lines = 32
+	s := NewSLRU(lines, 1, 0.25, 3)
+	seq := uint64(0)
+	next := func() Context { seq++; return Context{Seq: seq} }
+	for l := 0; l < 16; l++ {
+		s.OnInsert(l, 0, next())
+	}
+	// Hit everything: the protected segment must stay capped at 25%.
+	for round := 0; round < 3; round++ {
+		for l := 0; l < 16; l++ {
+			s.OnHit(l, 0, next())
+		}
+	}
+	limit := int(0.25*16) + 1
+	if got := s.ProtectedCount(0); got > limit {
+		t.Fatalf("protected segment %d exceeds cap %d", got, limit)
+	}
+}
+
+func TestSLRUEvictAndMoveBookkeeping(t *testing.T) {
+	s := NewSLRU(16, 1, 0.5, 4)
+	seq := uint64(0)
+	next := func() Context { seq++; return Context{Seq: seq} }
+	s.OnInsert(0, 0, next())
+	s.OnInsert(1, 0, next())
+	s.OnHit(0, 0, next()) // protected
+	s.OnEvict(0, 0)
+	if s.ProtectedCount(0) != 0 {
+		t.Fatalf("protected count after evict = %d", s.ProtectedCount(0))
+	}
+	s.OnInsert(2, 0, next())
+	s.OnHit(2, 0, next()) // protected again
+	before := s.Futility(2, 0)
+	s.OnMove(2, 9, 0)
+	if got := s.Futility(9, 0); got != before {
+		t.Fatalf("futility changed across move: %v → %v", before, got)
+	}
+	if !s.protected[9] || s.protected[2] {
+		t.Fatal("protected flag did not move")
+	}
+}
+
+func TestSLRURandomizedInvariants(t *testing.T) {
+	const lines = 64
+	s := NewSLRU(lines, 2, 0.6, 5)
+	rng := xrand.New(6)
+	resident := map[int]int{} // line → part
+	seq := uint64(0)
+	for op := 0; op < 20000; op++ {
+		seq++
+		line := rng.Intn(lines)
+		part := rng.Intn(2)
+		if p, ok := resident[line]; ok {
+			if rng.Bool(0.3) {
+				s.OnEvict(line, p)
+				delete(resident, line)
+			} else {
+				s.OnHit(line, p, Context{Seq: seq})
+			}
+			continue
+		}
+		s.OnInsert(line, part, Context{Seq: seq})
+		resident[line] = part
+	}
+	// Per-partition: sizes match, protected counts bounded, futilities form
+	// a permutation of ranks.
+	counts := map[int]int{}
+	for _, p := range resident {
+		counts[p]++
+	}
+	for p := 0; p < 2; p++ {
+		if s.Size(p) != counts[p] {
+			t.Fatalf("partition %d size %d, want %d", p, s.Size(p), counts[p])
+		}
+		if s.ProtectedCount(p) > s.Size(p) {
+			t.Fatalf("protected exceeds size")
+		}
+		seen := map[int]bool{}
+		for line, lp := range resident {
+			if lp != p {
+				continue
+			}
+			f := s.Futility(line, p)
+			rank := int(f*float64(s.Size(p)) + 0.5)
+			if rank < 1 || rank > s.Size(p) || seen[rank] {
+				t.Fatalf("bad rank %d for line %d (f=%v)", rank, line, f)
+			}
+			seen[rank] = true
+		}
+	}
+}
+
+func TestSLRUValidation(t *testing.T) {
+	for _, fn := range []func(){
+		func() { NewSLRU(8, 1, 0, 1) },
+		func() { NewSLRU(8, 1, 1, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("no panic")
+				}
+			}()
+			fn()
+		}()
+	}
+	if New(SegmentedLRU, 8, 1, 1).Name() != "slru" {
+		t.Fatal("factory does not build SLRU")
+	}
+	if SegmentedLRU.String() != "slru" {
+		t.Fatal("Kind string wrong")
+	}
+	if Reference(SegmentedLRU) != SegmentedLRU {
+		t.Fatal("SLRU is its own exact reference")
+	}
+}

@@ -1,0 +1,122 @@
+// Package hashing provides the hash functions used to index cache arrays.
+//
+// The paper's analysis assumes caches "indexed by good random hash functions"
+// (§III-B, §IV-A); its evaluated L2 uses XOR-based indexing [19] and its
+// analytical cache uses uniform random candidates. Skew-associative caches
+// and zcaches additionally need a *family* of independent hash functions,
+// one per way. We provide:
+//
+//   - H3: the classic universal hash family over GF(2) (matrix of random
+//     row masks), as used by the zcache work the paper builds on.
+//   - Fold: simple XOR folding of a line address into an index, the
+//     "XOR-based indexing" baseline.
+//   - Mix: a multiply-xorshift finalizer usable as a cheap strong hash.
+package hashing
+
+import "fscache/internal/xrand"
+
+// H3 is one member of the H3 universal hash family mapping 64-bit keys to
+// indices in [0, buckets). Each output bit is the parity of the key ANDed
+// with a random mask, which makes any two distinct keys collide with
+// probability 1/buckets over the random choice of masks.
+type H3 struct {
+	masks   []uint64
+	buckets uint64 // power of two
+	bits    uint
+}
+
+// NewH3 builds an H3 hash onto [0, buckets) seeded by seed.
+// buckets must be a power of two and at least 1.
+func NewH3(seed uint64, buckets int) *H3 {
+	if buckets <= 0 || buckets&(buckets-1) != 0 {
+		panic("hashing: H3 buckets must be a positive power of two")
+	}
+	bits := uint(0)
+	for 1<<bits < buckets {
+		bits++
+	}
+	rng := xrand.New(seed)
+	masks := make([]uint64, bits)
+	for i := range masks {
+		// Reject all-zero masks: a zero mask would pin that output bit.
+		for masks[i] == 0 {
+			masks[i] = rng.Uint64()
+		}
+	}
+	return &H3{masks: masks, buckets: uint64(buckets), bits: bits}
+}
+
+// Buckets returns the output range size.
+func (h *H3) Buckets() int { return int(h.buckets) }
+
+// Hash maps key to an index in [0, buckets).
+func (h *H3) Hash(key uint64) uint64 {
+	var out uint64
+	for i, m := range h.masks {
+		out |= parity(key&m) << uint(i)
+	}
+	return out
+}
+
+// parity returns the XOR of all bits of x (0 or 1).
+func parity(x uint64) uint64 {
+	x ^= x >> 32
+	x ^= x >> 16
+	x ^= x >> 8
+	x ^= x >> 4
+	x ^= x >> 2
+	x ^= x >> 1
+	return x & 1
+}
+
+// Family is a set of independent H3 functions (one per cache way), as needed
+// by skew-associative caches and zcaches.
+type Family struct {
+	fns []*H3
+}
+
+// NewFamily builds n independent H3 functions onto [0, buckets).
+func NewFamily(seed uint64, n, buckets int) *Family {
+	fns := make([]*H3, n)
+	for i := range fns {
+		fns[i] = NewH3(xrand.Mix64(seed^uint64(i+1)), buckets)
+	}
+	return &Family{fns: fns}
+}
+
+// Len returns the number of functions in the family.
+func (f *Family) Len() int { return len(f.fns) }
+
+// Hash applies the i-th function to key.
+func (f *Family) Hash(i int, key uint64) uint64 { return f.fns[i].Hash(key) }
+
+// Fold XOR-folds a 64-bit line address into [0, buckets); buckets must be a
+// power of two. This models conventional XOR-based set indexing: cheap, and
+// good enough to spread strided access patterns across sets.
+func Fold(key uint64, buckets int) uint64 {
+	if buckets <= 0 || buckets&(buckets-1) != 0 {
+		panic("hashing: Fold buckets must be a positive power of two")
+	}
+	bits := uint(0)
+	for 1<<bits < buckets {
+		bits++
+	}
+	if bits == 0 {
+		return 0
+	}
+	var out uint64
+	for key != 0 {
+		out ^= key & (uint64(buckets) - 1)
+		key >>= bits
+	}
+	return out
+}
+
+// Mix applies a strong 64-bit finalizer (SplitMix64's mixer) and reduces to
+// [0, buckets) for power-of-two buckets.
+func Mix(key uint64, buckets int) uint64 {
+	if buckets <= 0 || buckets&(buckets-1) != 0 {
+		panic("hashing: Mix buckets must be a positive power of two")
+	}
+	return xrand.Mix64(key) & (uint64(buckets) - 1)
+}

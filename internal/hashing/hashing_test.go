@@ -1,0 +1,180 @@
+package hashing
+
+import (
+	"testing"
+	"testing/quick"
+
+	"fscache/internal/xrand"
+)
+
+func TestH3Range(t *testing.T) {
+	h := NewH3(1, 256)
+	if h.Buckets() != 256 {
+		t.Fatalf("Buckets = %d", h.Buckets())
+	}
+	rng := xrand.New(2)
+	for i := 0; i < 10000; i++ {
+		v := h.Hash(rng.Uint64())
+		if v >= 256 {
+			t.Fatalf("Hash out of range: %d", v)
+		}
+	}
+}
+
+func TestH3Deterministic(t *testing.T) {
+	a, b := NewH3(7, 1024), NewH3(7, 1024)
+	for i := uint64(0); i < 1000; i++ {
+		if a.Hash(i) != b.Hash(i) {
+			t.Fatalf("same seed differs at key %d", i)
+		}
+	}
+}
+
+// The analytical framework assumes hashed indices are close to uniform even
+// for adversarial (sequential, strided) key patterns — this is exactly why
+// the paper requires "good hash functions" (§III-B). Verify with chi-squared.
+func TestH3UniformOnSequentialKeys(t *testing.T) {
+	h := NewH3(11, 64)
+	const n = 64 * 2000
+	var counts [64]int
+	for i := uint64(0); i < n; i++ {
+		counts[h.Hash(i)]++
+	}
+	checkChi2(t, counts[:], n, "sequential")
+}
+
+func TestH3UniformOnStridedKeys(t *testing.T) {
+	h := NewH3(13, 64)
+	const n = 64 * 2000
+	var counts [64]int
+	for i := uint64(0); i < n; i++ {
+		counts[h.Hash(i*4096)]++ // page-strided addresses, the classic bad case
+	}
+	checkChi2(t, counts[:], n, "strided")
+}
+
+func checkChi2(t *testing.T, counts []int, n int, label string) {
+	t.Helper()
+	expected := float64(n) / float64(len(counts))
+	chi2 := 0.0
+	for _, c := range counts {
+		d := float64(c) - expected
+		chi2 += d * d / expected
+	}
+	// 63 dof: 99.9th percentile ~103.4. Allow generous headroom.
+	if chi2 > 110 {
+		t.Fatalf("%s keys: chi-squared = %.1f, hash is non-uniform", label, chi2)
+	}
+}
+
+func TestH3Linearity(t *testing.T) {
+	// H3 is linear over GF(2): h(a^b) == h(a)^h(b). This property is what
+	// makes the family analyzable; verify our implementation has it.
+	h := NewH3(17, 512)
+	rng := xrand.New(3)
+	for i := 0; i < 1000; i++ {
+		a, b := rng.Uint64(), rng.Uint64()
+		if h.Hash(a^b) != h.Hash(a)^h.Hash(b) {
+			t.Fatalf("linearity violated for %#x, %#x", a, b)
+		}
+	}
+}
+
+func TestFamilyIndependence(t *testing.T) {
+	f := NewFamily(5, 4, 256)
+	if f.Len() != 4 {
+		t.Fatalf("Len = %d", f.Len())
+	}
+	// Different members must disagree on most keys; identical members would
+	// make a skew cache degenerate to set-associative.
+	rng := xrand.New(9)
+	agree := 0
+	const n = 10000
+	for i := 0; i < n; i++ {
+		k := rng.Uint64()
+		if f.Hash(0, k) == f.Hash(1, k) {
+			agree++
+		}
+	}
+	// Expected agreement 1/256 ≈ 39 of 10000.
+	if agree > 120 {
+		t.Fatalf("family members agree on %d/%d keys", agree, n)
+	}
+}
+
+func TestFoldRangeAndDeterminism(t *testing.T) {
+	f := func(key uint64) bool {
+		v := Fold(key, 4096)
+		return v < 4096 && v == Fold(key, 4096)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFoldSpreadsSequential(t *testing.T) {
+	// Sequential line addresses must hit distinct sets until wraparound —
+	// folding preserves low bits for keys < buckets.
+	seen := map[uint64]bool{}
+	for i := uint64(0); i < 1024; i++ {
+		v := Fold(i, 1024)
+		if seen[v] {
+			t.Fatalf("fold collision within one period at %d", i)
+		}
+		seen[v] = true
+	}
+}
+
+func TestMixRange(t *testing.T) {
+	f := func(key uint64) bool { return Mix(key, 128) < 128 }
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBadBucketsPanics(t *testing.T) {
+	for _, fn := range []func(){
+		func() { NewH3(1, 0) },
+		func() { NewH3(1, 3) },
+		func() { Fold(1, 12) },
+		func() { Mix(1, -2) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("non-power-of-two buckets did not panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestH3SingleBucket(t *testing.T) {
+	h := NewH3(1, 1)
+	for i := uint64(0); i < 100; i++ {
+		if h.Hash(i) != 0 {
+			t.Fatal("single-bucket hash must return 0")
+		}
+	}
+	if Fold(12345, 1) != 0 {
+		t.Fatal("single-bucket fold must return 0")
+	}
+}
+
+func BenchmarkH3(b *testing.B) {
+	h := NewH3(1, 8192)
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink += h.Hash(uint64(i) * 0x9e3779b97f4a7c15)
+	}
+	_ = sink
+}
+
+func BenchmarkFold(b *testing.B) {
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink += Fold(uint64(i)*0x9e3779b97f4a7c15, 8192)
+	}
+	_ = sink
+}

@@ -1,0 +1,122 @@
+// Package mrc computes exact LRU miss-ratio curves with Mattson's stack
+// algorithm: one pass over a trace yields, for every cache size
+// simultaneously, the miss ratio a fully-associative LRU cache of that size
+// would achieve. The stack-distance histogram it produces is the exact
+// version of what the UMON utility monitors (internal/policy) estimate with
+// sampled shadow tags, and it predicts the simulator's fully-associative
+// LRU behaviour line-for-line (see the cross-validation in mrc_test.go).
+//
+// The inclusion property behind it: under LRU, a reference with stack
+// distance d (d−1 lines touched more recently than its last use... here:
+// d = number of distinct lines more recently used, plus one) hits in every
+// cache of at least d lines and misses in every smaller cache.
+package mrc
+
+import (
+	"fscache/internal/ost"
+	"fscache/internal/trace"
+)
+
+// Profiler accumulates a stack-distance histogram over an access stream.
+type Profiler struct {
+	tree *ost.Tree
+	// lastKey maps a line address to its current key in the recency tree.
+	lastKey map[uint64]ost.Key
+	seq     uint64
+	// hist[d] counts references at stack distance d+1 (1-based distance:
+	// d = 1 means the line was the most recently used). Distances beyond
+	// MaxDepth are folded into cold misses.
+	hist     []uint64
+	cold     uint64
+	total    uint64
+	maxDepth int
+}
+
+// New returns a profiler recording distances up to maxDepth lines
+// (references that would only hit in caches larger than maxDepth count as
+// cold misses). maxDepth must be positive.
+func New(maxDepth int, seed uint64) *Profiler {
+	if maxDepth <= 0 {
+		panic("mrc: maxDepth must be positive")
+	}
+	return &Profiler{
+		tree:     ost.New(seed),
+		lastKey:  make(map[uint64]ost.Key, 1<<12),
+		hist:     make([]uint64, maxDepth),
+		maxDepth: maxDepth,
+	}
+}
+
+// Touch records one reference to line addr.
+func (p *Profiler) Touch(addr uint64) {
+	p.total++
+	p.seq++
+	newKey := ost.Key{Primary: ^p.seq, Tie: addr}
+	if old, ok := p.lastKey[addr]; ok {
+		// Ascending keys are most-recent-first (^seq), so the rank of the
+		// old key is exactly the number of distinct lines used since —
+		// the stack distance.
+		rank, found := p.tree.Rank(old)
+		if !found {
+			panic("mrc: recency tree lost a tracked line")
+		}
+		if rank <= p.maxDepth {
+			p.hist[rank-1]++
+		} else {
+			p.cold++
+		}
+		p.tree.Delete(old)
+	} else {
+		p.cold++
+	}
+	p.tree.Insert(newKey, int64(0))
+	p.lastKey[addr] = newKey
+}
+
+// Walk feeds an entire trace through the profiler.
+func (p *Profiler) Walk(t *trace.Trace) {
+	for i := range t.Accesses {
+		p.Touch(t.Accesses[i].Addr)
+	}
+}
+
+// Total returns the number of references recorded.
+func (p *Profiler) Total() uint64 { return p.total }
+
+// ColdMisses returns references with no prior use (plus beyond-depth ones).
+func (p *Profiler) ColdMisses() uint64 { return p.cold }
+
+// Histogram returns the stack-distance counts: Histogram()[d] is the number
+// of references whose reuse required a cache of at least d+1 lines.
+func (p *Profiler) Histogram() []uint64 {
+	return append([]uint64(nil), p.hist...)
+}
+
+// MissRatio returns the exact miss ratio of a fully-associative LRU cache
+// with `lines` lines over the recorded stream.
+func (p *Profiler) MissRatio(lines int) float64 {
+	if p.total == 0 {
+		return 0
+	}
+	if lines <= 0 {
+		return 1
+	}
+	var hits uint64
+	limit := lines
+	if limit > p.maxDepth {
+		limit = p.maxDepth
+	}
+	for d := 0; d < limit; d++ {
+		hits += p.hist[d]
+	}
+	return float64(p.total-hits) / float64(p.total)
+}
+
+// Curve returns miss ratios at each requested cache size.
+func (p *Profiler) Curve(sizes []int) []float64 {
+	out := make([]float64, len(sizes))
+	for i, s := range sizes {
+		out[i] = p.MissRatio(s)
+	}
+	return out
+}

@@ -1,0 +1,167 @@
+package mrc
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"fscache/internal/baselines"
+	"fscache/internal/cachearray"
+	"fscache/internal/core"
+	"fscache/internal/futility"
+	"fscache/internal/trace"
+	"fscache/internal/workload"
+	"fscache/internal/xrand"
+)
+
+func TestStackDistancesByHand(t *testing.T) {
+	p := New(16, 1)
+	// a b a → a: cold; b: cold; a: distance 2 (b used since).
+	p.Touch(1)
+	p.Touch(2)
+	p.Touch(1)
+	if p.ColdMisses() != 2 {
+		t.Fatalf("cold = %d", p.ColdMisses())
+	}
+	h := p.Histogram()
+	if h[0] != 0 || h[1] != 1 {
+		t.Fatalf("hist = %v, want distance 2 once", h[:4])
+	}
+	// Immediate re-reference: distance 1.
+	p.Touch(1)
+	if p.Histogram()[0] != 1 {
+		t.Fatal("distance-1 reference not recorded")
+	}
+	if p.Total() != 4 {
+		t.Fatalf("total = %d", p.Total())
+	}
+}
+
+func TestMissRatioMonotone(t *testing.T) {
+	p := New(4096, 2)
+	prof, err := workload.ByName("mcf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Walk(trace.Collect(prof.Shrunk(16).NewGenerator(3, 0), 50000))
+	prev := 1.1
+	for _, s := range []int{0, 1, 16, 64, 256, 1024, 4096} {
+		mr := p.MissRatio(s)
+		if mr < 0 || mr > 1 {
+			t.Fatalf("miss ratio %v out of range", mr)
+		}
+		if mr > prev+1e-12 {
+			t.Fatalf("miss ratio not monotone: %v after %v at size %d", mr, prev, s)
+		}
+		prev = mr
+	}
+	if p.MissRatio(0) != 1 {
+		t.Fatal("zero-size cache must miss always")
+	}
+}
+
+// The headline property: the profiler's predicted miss ratio equals the
+// measured miss count of a simulated fully-associative LRU cache of the
+// same size, reference for reference.
+func TestPredictsFullyAssociativeLRU(t *testing.T) {
+	prof, err := workload.ByName("omnetpp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := trace.Collect(prof.Shrunk(16).NewGenerator(7, 0), 40000)
+
+	p := New(1<<16, 8)
+	p.Walk(tr)
+
+	for _, lines := range []int{64, 256, 1024} {
+		c := core.New(core.Config{
+			Array:  cachearray.NewFullyAssoc(lines),
+			Ranker: futility.NewExactLRU(lines, 1, 9),
+			Scheme: baselines.NewUnmanaged(),
+			Parts:  1,
+		})
+		c.SetTargets([]int{lines})
+		misses := 0
+		for i := range tr.Accesses {
+			if !c.Access(tr.Accesses[i].Addr, 0, trace.NoNextUse).Hit {
+				misses++
+			}
+		}
+		predicted := p.MissRatio(lines)
+		measured := float64(misses) / float64(tr.Len())
+		if math.Abs(predicted-measured) > 1e-9 {
+			t.Fatalf("size %d: predicted %v, measured %v", lines, predicted, measured)
+		}
+	}
+}
+
+// Property: total = cold + sum(hist) and distances are well-formed for any
+// access pattern.
+func TestQuickAccounting(t *testing.T) {
+	f := func(raw []uint8) bool {
+		p := New(64, 11)
+		for _, a := range raw {
+			p.Touch(uint64(a % 32))
+		}
+		var sum uint64
+		for _, h := range p.Histogram() {
+			sum += h
+		}
+		return p.Total() == uint64(len(raw)) && sum+p.ColdMisses() == p.Total()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Distances beyond maxDepth fold into cold misses, never panic.
+func TestDepthFolding(t *testing.T) {
+	p := New(4, 13)
+	for i := 0; i < 10; i++ {
+		p.Touch(uint64(i))
+	}
+	p.Touch(0) // distance 10 > maxDepth 4
+	if p.MissRatio(4) != 1 {
+		t.Fatalf("deep reuse leaked into small-cache hits: %v", p.MissRatio(4))
+	}
+	h := p.Histogram()
+	for _, v := range h {
+		if v != 0 {
+			t.Fatalf("hist = %v, want empty", h)
+		}
+	}
+}
+
+func TestCurve(t *testing.T) {
+	p := New(128, 17)
+	rng := xrand.New(19)
+	for i := 0; i < 20000; i++ {
+		p.Touch(rng.Uint64() % 100)
+	}
+	curve := p.Curve([]int{1, 50, 100, 128})
+	// With 100 uniformly accessed lines, a 100-line cache hits everything
+	// after compulsory misses.
+	if curve[3] > 0.01 {
+		t.Fatalf("full-footprint cache miss ratio = %v", curve[3])
+	}
+	if !(curve[0] > curve[1] && curve[1] > curve[2]) {
+		t.Fatalf("curve not decreasing: %v", curve)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	New(0, 1)
+}
+
+func BenchmarkTouch(b *testing.B) {
+	p := New(1<<16, 1)
+	rng := xrand.New(2)
+	for i := 0; i < b.N; i++ {
+		p.Touch(rng.Uint64() % (1 << 15))
+	}
+}

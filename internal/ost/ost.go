@@ -1,0 +1,279 @@
+// Package ost implements an order-statistic tree (a size-augmented treap).
+//
+// The futility of a cache line is its uselessness rank within its partition
+// normalized to [0,1]: for the line ranked r-th of M, f = r/M (§III-A of the
+// paper). Exact futility ranking therefore needs order statistics over a
+// dynamically changing set of keys — recency sequence numbers for LRU,
+// access frequencies for LFU, next-use times for OPT. The treap supports
+// Insert, Delete, Rank, Select, Min and Max in O(log n) expected time with
+// deterministic behaviour given a seed.
+//
+// Keys are (uint64 primary, uint64 tiebreak) pairs; the tiebreak makes every
+// stored key unique so ranks are a strict total order, as the paper requires
+// ("a strict total order of the uselessness of cache lines").
+package ost
+
+import "fscache/internal/xrand"
+
+// Key is a composite ordering key. Primary orders first; Tie breaks equal
+// primaries (callers usually use a unique line identifier or sequence
+// number). Two keys stored in one tree must never be fully equal.
+type Key struct {
+	Primary uint64
+	Tie     uint64
+}
+
+// Less reports whether k orders strictly before other.
+func (k Key) Less(other Key) bool {
+	if k.Primary != other.Primary {
+		return k.Primary < other.Primary
+	}
+	return k.Tie < other.Tie
+}
+
+type node struct {
+	key         Key
+	value       int64 // caller payload (e.g. line index)
+	priority    uint64
+	size        int
+	left, right *node
+}
+
+func size(n *node) int {
+	if n == nil {
+		return 0
+	}
+	return n.size
+}
+
+func (n *node) update() {
+	n.size = 1 + size(n.left) + size(n.right)
+}
+
+// Tree is an order-statistic treap. The zero value is not usable; call New.
+type Tree struct {
+	root *node
+	rng  *xrand.Rand
+	free []*node // recycled nodes to reduce allocation churn in hot loops
+}
+
+// New returns an empty tree whose heap priorities are drawn from seed.
+func New(seed uint64) *Tree {
+	return &Tree{rng: xrand.New(seed)}
+}
+
+// Len returns the number of keys stored.
+func (t *Tree) Len() int { return size(t.root) }
+
+func (t *Tree) newNode(key Key, value int64) *node {
+	var n *node
+	if len(t.free) > 0 {
+		n = t.free[len(t.free)-1]
+		t.free = t.free[:len(t.free)-1]
+		*n = node{}
+	} else {
+		n = &node{}
+	}
+	n.key = key
+	n.value = value
+	n.priority = t.rng.Uint64()
+	n.size = 1
+	return n
+}
+
+// split partitions n into (< key, >= key).
+func split(n *node, key Key) (left, right *node) {
+	if n == nil {
+		return nil, nil
+	}
+	if n.key.Less(key) {
+		l, r := split(n.right, key)
+		n.right = l
+		n.update()
+		return n, r
+	}
+	l, r := split(n.left, key)
+	n.left = r
+	n.update()
+	return l, n
+}
+
+// merge joins two treaps where every key in a orders before every key in b.
+func merge(a, b *node) *node {
+	if a == nil {
+		return b
+	}
+	if b == nil {
+		return a
+	}
+	if a.priority > b.priority {
+		a.right = merge(a.right, b)
+		a.update()
+		return a
+	}
+	b.left = merge(a, b.left)
+	b.update()
+	return b
+}
+
+// Insert adds key with an associated value. It panics if the key is already
+// present: futility rankings require unique keys, and a duplicate indicates
+// a bookkeeping bug in the caller.
+func (t *Tree) Insert(key Key, value int64) {
+	if t.contains(key) {
+		panic("ost: duplicate key inserted")
+	}
+	l, r := split(t.root, key)
+	t.root = merge(merge(l, t.newNode(key, value)), r)
+}
+
+func (t *Tree) contains(key Key) bool {
+	n := t.root
+	for n != nil {
+		if key.Less(n.key) {
+			n = n.left
+		} else if n.key.Less(key) {
+			n = n.right
+		} else {
+			return true
+		}
+	}
+	return false
+}
+
+// Contains reports whether key is stored.
+func (t *Tree) Contains(key Key) bool { return t.contains(key) }
+
+// Delete removes key and reports whether it was present.
+func (t *Tree) Delete(key Key) bool {
+	var deleted bool
+	t.root = t.delete(t.root, key, &deleted)
+	return deleted
+}
+
+func (t *Tree) delete(n *node, key Key, deleted *bool) *node {
+	if n == nil {
+		return nil
+	}
+	if key.Less(n.key) {
+		n.left = t.delete(n.left, key, deleted)
+		n.update()
+		return n
+	}
+	if n.key.Less(key) {
+		n.right = t.delete(n.right, key, deleted)
+		n.update()
+		return n
+	}
+	*deleted = true
+	m := merge(n.left, n.right)
+	n.left, n.right = nil, nil
+	t.free = append(t.free, n)
+	return m
+}
+
+// Rank returns the 1-based ascending rank of key (1 = smallest) and whether
+// the key is present. If absent, rank is the rank the key would have after
+// insertion.
+func (t *Tree) Rank(key Key) (rank int, ok bool) {
+	rank = 1
+	n := t.root
+	for n != nil {
+		if key.Less(n.key) {
+			n = n.left
+		} else if n.key.Less(key) {
+			rank += size(n.left) + 1
+			n = n.right
+		} else {
+			return rank + size(n.left), true
+		}
+	}
+	return rank, false
+}
+
+// Select returns the key and value at 1-based ascending rank r.
+// It panics if r is out of range.
+func (t *Tree) Select(r int) (Key, int64) {
+	if r < 1 || r > t.Len() {
+		panic("ost: Select rank out of range")
+	}
+	n := t.root
+	for {
+		ls := size(n.left)
+		switch {
+		case r <= ls:
+			n = n.left
+		case r == ls+1:
+			return n.key, n.value
+		default:
+			r -= ls + 1
+			n = n.right
+		}
+	}
+}
+
+// Min returns the smallest key and its value. It panics if the tree is empty.
+func (t *Tree) Min() (Key, int64) {
+	n := t.root
+	if n == nil {
+		panic("ost: Min of empty tree")
+	}
+	for n.left != nil {
+		n = n.left
+	}
+	return n.key, n.value
+}
+
+// Max returns the largest key and its value. It panics if the tree is empty.
+func (t *Tree) Max() (Key, int64) {
+	n := t.root
+	if n == nil {
+		panic("ost: Max of empty tree")
+	}
+	for n.right != nil {
+		n = n.right
+	}
+	return n.key, n.value
+}
+
+// Walk visits every (key, value) pair in ascending key order. The callback
+// must not mutate the tree.
+func (t *Tree) Walk(fn func(Key, int64)) {
+	var rec func(*node)
+	rec = func(n *node) {
+		if n == nil {
+			return
+		}
+		rec(n.left)
+		fn(n.key, n.value)
+		rec(n.right)
+	}
+	rec(t.root)
+}
+
+// validate checks structural invariants; used by tests.
+func (t *Tree) validate() bool {
+	var rec func(n *node, lo, hi *Key) bool
+	rec = func(n *node, lo, hi *Key) bool {
+		if n == nil {
+			return true
+		}
+		if n.size != 1+size(n.left)+size(n.right) {
+			return false
+		}
+		if lo != nil && !lo.Less(n.key) {
+			return false
+		}
+		if hi != nil && !n.key.Less(*hi) {
+			return false
+		}
+		if n.left != nil && n.left.priority > n.priority {
+			return false
+		}
+		if n.right != nil && n.right.priority > n.priority {
+			return false
+		}
+		return rec(n.left, lo, &n.key) && rec(n.right, &n.key, hi)
+	}
+	return rec(t.root, nil, nil)
+}

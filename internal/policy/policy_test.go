@@ -1,0 +1,255 @@
+package policy
+
+import (
+	"testing"
+	"testing/quick"
+
+	"fscache/internal/workload"
+	"fscache/internal/xrand"
+)
+
+func sum(xs []int) int {
+	s := 0
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
+func TestEqual(t *testing.T) {
+	tg := Equal{Parts: 3}.Targets(100)
+	if sum(tg) != 100 {
+		t.Fatalf("sum = %d", sum(tg))
+	}
+	if tg[0] != 34 || tg[1] != 33 || tg[2] != 33 {
+		t.Fatalf("targets = %v", tg)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	Equal{}.Targets(10)
+}
+
+func TestQoS(t *testing.T) {
+	q := QoS{Subjects: 2, Background: 3, SubjectLines: 100}
+	tg := q.Targets(1000)
+	if len(tg) != 5 {
+		t.Fatalf("len = %d", len(tg))
+	}
+	if tg[0] != 100 || tg[1] != 100 {
+		t.Fatalf("subject targets = %v", tg)
+	}
+	if sum(tg) != 1000 {
+		t.Fatalf("sum = %d", sum(tg))
+	}
+	if tg[2] < 266 || tg[2] > 267 {
+		t.Fatalf("background target = %d", tg[2])
+	}
+}
+
+func TestQoSManagedCap(t *testing.T) {
+	q := QoS{Subjects: 1, Background: 1, SubjectLines: 100, ManagedLines: 900}
+	tg := q.Targets(1000)
+	if sum(tg) != 900 {
+		t.Fatalf("sum = %d, want managed cap 900", sum(tg))
+	}
+}
+
+func TestQoSValidation(t *testing.T) {
+	cases := []func(){
+		func() { QoS{}.Targets(10) },
+		func() { QoS{Subjects: 1, SubjectLines: -1}.Targets(10) },
+		func() { QoS{Subjects: 2, SubjectLines: 10}.Targets(15) },
+	}
+	for i, fn := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d did not panic", i)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestStatic(t *testing.T) {
+	s := Static{Fixed: []int{10, 20}}
+	tg := s.Targets(100)
+	if tg[0] != 10 || tg[1] != 20 {
+		t.Fatalf("targets = %v", tg)
+	}
+	// The returned slice must be a copy.
+	tg[0] = 99
+	if s.Fixed[0] != 10 {
+		t.Fatal("Static leaked its backing slice")
+	}
+	for _, fn := range []func(){
+		func() { Static{Fixed: []int{-1}}.Targets(10) },
+		func() { Static{Fixed: []int{11}}.Targets(10) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("no panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+// Property: QoS targets always respect subject guarantees and capacity.
+func TestQuickQoSInvariants(t *testing.T) {
+	f := func(subj, bg uint8, lines uint16) bool {
+		s := int(subj%8) + 1
+		b := int(bg % 8)
+		total := int(lines) + s*64 // ensure feasibility
+		q := QoS{Subjects: s, Background: b, SubjectLines: 64}
+		tg := q.Targets(total)
+		if len(tg) != s+b {
+			return false
+		}
+		for i := 0; i < s; i++ {
+			if tg[i] != 64 {
+				return false
+			}
+		}
+		return sum(tg) <= total
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUMONCurveMonotone(t *testing.T) {
+	u := NewUMON(16, 64)
+	prof, err := workload.ByName("mcf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen := prof.NewGenerator(1, 0)
+	for i := 0; i < 100000; i++ {
+		u.Observe(gen.Next().Addr)
+	}
+	curve := u.Curve()
+	if len(curve) != 17 {
+		t.Fatalf("curve length %d", len(curve))
+	}
+	if curve[0] != 0 {
+		t.Fatal("curve[0] != 0")
+	}
+	for i := 1; i < len(curve); i++ {
+		if curve[i] < curve[i-1] {
+			t.Fatalf("curve not monotone at %d: %v", i, curve)
+		}
+	}
+	if curve[16] == 0 {
+		t.Fatal("reuse-heavy workload recorded no shadow hits")
+	}
+}
+
+func TestUMONReset(t *testing.T) {
+	u := NewUMON(4, 16)
+	for i := 0; i < 100; i++ {
+		u.Observe(uint64(i % 8))
+	}
+	if u.Accesses() != 100 {
+		t.Fatalf("accesses = %d", u.Accesses())
+	}
+	u.Reset()
+	if u.Accesses() != 0 || u.Curve()[4] != 0 {
+		t.Fatal("Reset did not clear counters")
+	}
+	// Tags stay warm: an immediately repeated address hits.
+	u.Observe(3)
+	if u.Curve()[4] == 0 {
+		t.Fatal("warm tags lost across Reset")
+	}
+}
+
+func TestUMONValidation(t *testing.T) {
+	for _, fn := range []func(){
+		func() { NewUMON(0, 16) },
+		func() { NewUMON(4, 0) },
+		func() { NewUMON(4, 3) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("no panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+// Utility allocation must give the reuse-heavy thread more capacity than a
+// streaming thread.
+func TestUtilityFavorsReuse(t *testing.T) {
+	reuse := NewUMON(32, 64)
+	stream := NewUMON(32, 64)
+	rng := xrand.New(3)
+	for i := 0; i < 200000; i++ {
+		reuse.Observe(rng.Uint64() % 2048) // hot set, lots of shadow hits
+		stream.Observe(uint64(i))          // never reused
+	}
+	p := &Utility{Monitors: []*UMON{reuse, stream}}
+	tg := p.Targets(8192)
+	if len(tg) != 2 {
+		t.Fatalf("targets = %v", tg)
+	}
+	if tg[0] <= tg[1] {
+		t.Fatalf("utility gave reuse %d, stream %d", tg[0], tg[1])
+	}
+	if sum(tg) > 8192 {
+		t.Fatalf("over-allocated: %v", tg)
+	}
+}
+
+func TestUtilityFloors(t *testing.T) {
+	a, b := NewUMON(8, 16), NewUMON(8, 16)
+	rng := xrand.New(5)
+	for i := 0; i < 10000; i++ {
+		a.Observe(rng.Uint64() % 64)
+	}
+	p := &Utility{Monitors: []*UMON{a, b}, MinLines: 100}
+	tg := p.Targets(1000)
+	for i, v := range tg {
+		if v < 100 {
+			t.Fatalf("partition %d below floor: %v", i, tg)
+		}
+	}
+	if sum(tg) > 1000 {
+		t.Fatalf("over capacity: %v", tg)
+	}
+}
+
+func TestUtilityValidation(t *testing.T) {
+	for _, fn := range []func(){
+		func() { (&Utility{}).Targets(100) },
+		func() {
+			(&Utility{Monitors: []*UMON{NewUMON(4, 16), NewUMON(8, 16)}}).Targets(100)
+		},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("no panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func BenchmarkUMONObserve(b *testing.B) {
+	u := NewUMON(32, 64)
+	rng := xrand.New(1)
+	for i := 0; i < b.N; i++ {
+		u.Observe(rng.Uint64() % 65536)
+	}
+}

@@ -1,0 +1,163 @@
+package policy
+
+// Utility-based allocation (UCP-style): each thread is shadowed by a UMON —
+// a set-sampled, fully-LRU tag directory with per-recency-position hit
+// counters — yielding a miss curve "hits if given w ways". The lookahead
+// algorithm then allocates way-granular chunks to the thread with the
+// greatest marginal utility. This is the Utilitarian allocation policy the
+// paper's background section cites [2,3]; combined with FS enforcement it
+// makes a complete capacity-management stack.
+
+// UMON is the per-thread utility monitor.
+type UMON struct {
+	ways       int
+	sampleMask uint64 // sample sets where (addr>>6)&mask == 0? we sample by hash
+	sets       int
+	tags       [][]uint64 // per sampled set: LRU stack, most recent first
+	hits       []uint64   // hits at stack position i (i.e. needs ≥ i+1 ways)
+	misses     uint64
+	accesses   uint64
+}
+
+// NewUMON builds a monitor with the given associativity (curve resolution)
+// and number of sampled sets. Typical: 32 ways, 64 sampled sets.
+func NewUMON(ways, sampledSets int) *UMON {
+	if ways <= 0 || sampledSets <= 0 || sampledSets&(sampledSets-1) != 0 {
+		panic("policy: UMON needs positive ways and power-of-two sampled sets")
+	}
+	u := &UMON{
+		ways: ways,
+		sets: sampledSets,
+		tags: make([][]uint64, sampledSets),
+		hits: make([]uint64, ways),
+	}
+	for i := range u.tags {
+		u.tags[i] = make([]uint64, 0, ways)
+	}
+	return u
+}
+
+// sampleRatio is the inverse sampling rate applied in Curve scaling: UMON
+// watches one of every sampleEvery sets of the real cache. We fold the
+// address space onto the sampled sets directly, so every access lands in a
+// sampled set; the curve is therefore already full-rate.
+const _ = 0
+
+// Observe feeds one line address through the monitor.
+func (u *UMON) Observe(addr uint64) {
+	u.accesses++
+	set := int((addr * 0x9e3779b97f4a7c15) >> 40 & uint64(u.sets-1))
+	stack := u.tags[set]
+	for i, t := range stack {
+		if t == addr {
+			u.hits[i]++
+			// Move to MRU.
+			copy(stack[1:i+1], stack[:i])
+			stack[0] = addr
+			return
+		}
+	}
+	u.misses++
+	if len(stack) < u.ways {
+		stack = append(stack, 0)
+	}
+	copy(stack[1:], stack[:len(stack)-1])
+	stack[0] = addr
+	u.tags[set] = stack
+}
+
+// Curve returns cumulative hits[w] = hits the thread would get with w ways
+// (w = 0..ways); Curve()[0] is always 0.
+func (u *UMON) Curve() []uint64 {
+	out := make([]uint64, u.ways+1)
+	for i, h := range u.hits {
+		out[i+1] = out[i] + h
+	}
+	return out
+}
+
+// Accesses returns the number of observed references.
+func (u *UMON) Accesses() uint64 { return u.accesses }
+
+// Reset clears counters (typically at the end of an allocation epoch) while
+// keeping the tag state warm.
+func (u *UMON) Reset() {
+	for i := range u.hits {
+		u.hits[i] = 0
+	}
+	u.misses = 0
+	u.accesses = 0
+}
+
+// Utility allocates capacity by marginal utility using per-thread UMONs.
+type Utility struct {
+	Monitors []*UMON
+	// MinLines guarantees every thread a floor allocation (lines).
+	MinLines int
+}
+
+// Name implements Policy.
+func (*Utility) Name() string { return "utility" }
+
+// Targets implements Policy: greedy lookahead over way-granular chunks.
+func (p *Utility) Targets(totalLines int) []int {
+	n := len(p.Monitors)
+	if n == 0 {
+		panic("policy: Utility needs monitors")
+	}
+	ways := p.Monitors[0].ways
+	for _, m := range p.Monitors {
+		if m.ways != ways {
+			panic("policy: monitors disagree on ways")
+		}
+	}
+	chunk := totalLines / ways
+	if chunk == 0 {
+		chunk = 1
+	}
+	curves := make([][]uint64, n)
+	for i, m := range p.Monitors {
+		curves[i] = m.Curve()
+	}
+	alloc := make([]int, n) // in ways
+	remaining := ways
+	// Everyone gets at least one way to avoid starvation.
+	for i := 0; i < n && remaining > 0; i++ {
+		alloc[i] = 1
+		remaining--
+	}
+	for remaining > 0 {
+		best, bestGain := -1, int64(-1)
+		for i := 0; i < n; i++ {
+			if alloc[i] >= ways {
+				continue
+			}
+			gain := int64(curves[i][alloc[i]+1] - curves[i][alloc[i]])
+			if gain > bestGain {
+				bestGain = gain
+				best = i
+			}
+		}
+		if best < 0 {
+			break
+		}
+		alloc[best]++
+		remaining--
+	}
+	out := make([]int, n)
+	assigned := 0
+	for i := range out {
+		out[i] = alloc[i] * chunk
+		if out[i] < p.MinLines {
+			out[i] = p.MinLines
+		}
+		assigned += out[i]
+	}
+	// Scale down if floors pushed us over capacity.
+	if assigned > totalLines {
+		for i := range out {
+			out[i] = out[i] * totalLines / assigned
+		}
+	}
+	return out
+}

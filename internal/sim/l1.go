@@ -1,0 +1,94 @@
+// Package sim is the trace-driven timing simulator reproducing the paper's
+// methodology (§VII): per-core private L1s filter each thread's memory
+// reference stream into an L2 access trace; the shared, partitioned L2 is
+// then simulated across all threads with network and memory latencies fed
+// back into trace timing, delaying future accesses (the paper's
+// trace-driven approach with timing feedback).
+package sim
+
+import "fscache/internal/trace"
+
+// L1 is a small private set-associative cache with true-LRU replacement,
+// used only as a filter: it turns a memory-reference stream into the L2
+// access stream. 32 KB, 4-way, 64 B lines by default (Table II).
+type L1 struct {
+	ways  int
+	sets  int
+	tags  []uint64
+	valid []bool
+	use   []uint64
+	tick  uint64
+}
+
+// NewL1 builds an L1 with the given total lines and ways (both powers of
+// two, ways ≤ lines).
+func NewL1(lines, ways int) *L1 {
+	if lines <= 0 || lines&(lines-1) != 0 || ways <= 0 || ways&(ways-1) != 0 || ways > lines {
+		panic("sim: L1 lines/ways must be powers of two with ways <= lines")
+	}
+	return &L1{
+		ways:  ways,
+		sets:  lines / ways,
+		tags:  make([]uint64, lines),
+		valid: make([]bool, lines),
+		use:   make([]uint64, lines),
+	}
+}
+
+// Access performs one reference and reports whether it hit in the L1.
+// On a miss the line is installed (evicting the set's LRU way).
+func (c *L1) Access(addr uint64) bool {
+	c.tick++
+	set := int(addr) & (c.sets - 1)
+	base := set * c.ways
+	lru, lruUse := base, c.use[base]
+	for w := 0; w < c.ways; w++ {
+		i := base + w
+		if c.valid[i] && c.tags[i] == addr {
+			c.use[i] = c.tick
+			return true
+		}
+		if !c.valid[i] {
+			lru, lruUse = i, 0
+		} else if c.use[i] < lruUse {
+			lru, lruUse = i, c.use[i]
+		}
+	}
+	c.tags[lru] = addr
+	c.valid[lru] = true
+	c.use[lru] = c.tick
+	return false
+}
+
+// BuildL2Trace drives gen through a fresh L1 until n L2 accesses (L1
+// misses) are produced, and returns the L2 trace with gaps re-aggregated:
+// each L2 access's Gap counts all instructions (including L1-hit memory
+// references) since the previous L2 access. maxRefs bounds the number of
+// generator references consumed (0 means 1000×n) to guarantee termination
+// even for workloads the L1 absorbs entirely; fewer than n accesses may
+// then be returned.
+func BuildL2Trace(gen trace.Generator, l1 *L1, n int, maxRefs int) *trace.Trace {
+	if n <= 0 {
+		panic("sim: BuildL2Trace needs a positive access count")
+	}
+	if maxRefs <= 0 {
+		maxRefs = 1000 * n
+	}
+	out := &trace.Trace{Accesses: make([]trace.Access, 0, n)}
+	var gap uint64
+	for refs := 0; refs < maxRefs && len(out.Accesses) < n; refs++ {
+		a := gen.Next()
+		gap += uint64(a.Gap)
+		if l1.Access(a.Addr) {
+			gap++ // the hit itself retires one instruction
+			continue
+		}
+		g := gap
+		if g > 1<<31 {
+			g = 1 << 31
+		}
+		out.Accesses = append(out.Accesses, trace.Access{Addr: a.Addr, Gap: uint32(g), Kind: a.Kind})
+		gap = 0
+	}
+	return out
+}

@@ -1,0 +1,328 @@
+// Package stats provides the measurement toolkit used by every experiment:
+// eviction-futility histograms (associativity distributions, §III-C),
+// average eviction futility (AEF), size-deviation tracking (mean absolute
+// deviation, §IV-D), and the usual scalar summaries.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Histogram accumulates float64 samples in [0,1] into fixed-width buckets.
+// It is the representation of the paper's "associativity distribution": the
+// probability distribution of evicted lines' futility. A sample of exactly
+// 1.0 lands in the last bucket.
+type Histogram struct {
+	counts []uint64
+	total  uint64
+	sum    float64
+}
+
+// NewHistogram returns a histogram with n buckets over [0,1]. n must be > 0.
+func NewHistogram(n int) *Histogram {
+	if n <= 0 {
+		panic("stats: histogram needs at least one bucket")
+	}
+	return &Histogram{counts: make([]uint64, n)}
+}
+
+// Add records one sample. Samples outside [0,1] are clamped; the futility
+// definition guarantees the range, so clamping only papers over float noise.
+func (h *Histogram) Add(x float64) {
+	if x < 0 {
+		x = 0
+	}
+	if x > 1 {
+		x = 1
+	}
+	i := int(x * float64(len(h.counts)))
+	if i == len(h.counts) {
+		i--
+	}
+	h.counts[i]++
+	h.total++
+	h.sum += x
+}
+
+// N returns the number of samples recorded.
+func (h *Histogram) N() uint64 { return h.total }
+
+// Mean returns the exact sample mean (not bucket-quantized). For an
+// eviction-futility histogram this is the AEF.
+func (h *Histogram) Mean() float64 {
+	if h.total == 0 {
+		return 0
+	}
+	return h.sum / float64(h.total)
+}
+
+// CDF returns the cumulative distribution evaluated at each bucket's upper
+// edge: CDF()[i] = P(x <= (i+1)/n).
+func (h *Histogram) CDF() []float64 {
+	out := make([]float64, len(h.counts))
+	if h.total == 0 {
+		return out
+	}
+	var cum uint64
+	for i, c := range h.counts {
+		cum += c
+		out[i] = float64(cum) / float64(h.total)
+	}
+	return out
+}
+
+// Quantile returns the (approximate, bucket-resolved) q-quantile, q in [0,1].
+func (h *Histogram) Quantile(q float64) float64 {
+	if h.total == 0 {
+		return 0
+	}
+	target := q * float64(h.total)
+	var cum float64
+	for i, c := range h.counts {
+		cum += float64(c)
+		if cum >= target {
+			return float64(i+1) / float64(len(h.counts))
+		}
+	}
+	return 1
+}
+
+// Merge adds other's samples into h. The histograms must have equal widths.
+func (h *Histogram) Merge(other *Histogram) {
+	if len(h.counts) != len(other.counts) {
+		panic("stats: merging histograms of different widths")
+	}
+	for i, c := range other.counts {
+		h.counts[i] += c
+	}
+	h.total += other.total
+	h.sum += other.sum
+}
+
+// IntDist accumulates integer samples (e.g. size deviation in lines) and
+// reports moments and the CDF of values. Memory is proportional to the
+// number of distinct values, which is small for mean-reverting walks.
+type IntDist struct {
+	counts map[int]uint64
+	total  uint64
+	sum    float64
+	absSum float64
+}
+
+// NewIntDist returns an empty distribution.
+func NewIntDist() *IntDist {
+	return &IntDist{counts: make(map[int]uint64)}
+}
+
+// Add records one sample.
+func (d *IntDist) Add(v int) {
+	d.counts[v]++
+	d.total++
+	d.sum += float64(v)
+	d.absSum += math.Abs(float64(v))
+}
+
+// N returns the number of samples.
+func (d *IntDist) N() uint64 { return d.total }
+
+// Mean returns the sample mean.
+func (d *IntDist) Mean() float64 {
+	if d.total == 0 {
+		return 0
+	}
+	return d.sum / float64(d.total)
+}
+
+// MAD returns the mean absolute value of the samples. For deviation-from-
+// target samples this is the paper's "mean absolute deviation" (Fig. 5).
+func (d *IntDist) MAD() float64 {
+	if d.total == 0 {
+		return 0
+	}
+	return d.absSum / float64(d.total)
+}
+
+// AbsCDF returns sorted |value| points and the cumulative probability at
+// each, i.e. P(|X| <= v) — the exact form plotted in Fig. 5.
+func (d *IntDist) AbsCDF() (values []int, cum []float64) {
+	abs := map[int]uint64{}
+	for v, c := range d.counts {
+		if v < 0 {
+			v = -v
+		}
+		abs[v] += c
+	}
+	values = make([]int, 0, len(abs))
+	for v := range abs {
+		values = append(values, v)
+	}
+	sort.Ints(values)
+	cum = make([]float64, len(values))
+	var running uint64
+	for i, v := range values {
+		running += abs[v]
+		cum[i] = float64(running) / float64(d.total)
+	}
+	return values, cum
+}
+
+// Quantile returns the q-quantile of |X|.
+func (d *IntDist) Quantile(q float64) int {
+	values, cum := d.AbsCDF()
+	for i, c := range cum {
+		if c >= q {
+			return values[i]
+		}
+	}
+	if len(values) == 0 {
+		return 0
+	}
+	return values[len(values)-1]
+}
+
+// Running accumulates streaming scalar samples with Welford's algorithm.
+type Running struct {
+	n    uint64
+	mean float64
+	m2   float64
+	min  float64
+	max  float64
+}
+
+// Add records one sample.
+func (r *Running) Add(x float64) {
+	r.n++
+	if r.n == 1 {
+		r.min, r.max = x, x
+	} else {
+		if x < r.min {
+			r.min = x
+		}
+		if x > r.max {
+			r.max = x
+		}
+	}
+	delta := x - r.mean
+	r.mean += delta / float64(r.n)
+	r.m2 += delta * (x - r.mean)
+}
+
+// N returns the sample count.
+func (r *Running) N() uint64 { return r.n }
+
+// Mean returns the sample mean.
+func (r *Running) Mean() float64 { return r.mean }
+
+// Var returns the (population) variance.
+func (r *Running) Var() float64 {
+	if r.n == 0 {
+		return 0
+	}
+	return r.m2 / float64(r.n)
+}
+
+// Stddev returns the population standard deviation.
+func (r *Running) Stddev() float64 { return math.Sqrt(r.Var()) }
+
+// Min returns the smallest sample (0 if empty).
+func (r *Running) Min() float64 { return r.min }
+
+// Max returns the largest sample (0 if empty).
+func (r *Running) Max() float64 { return r.max }
+
+// WeightedSpeedup returns sum(ipc_i / base_i): the standard multiprogrammed
+// throughput metric. Slices must have equal nonzero length and positive
+// baselines.
+func WeightedSpeedup(ipc, base []float64) float64 {
+	if len(ipc) != len(base) || len(ipc) == 0 {
+		panic("stats: WeightedSpeedup needs equal-length nonempty slices")
+	}
+	s := 0.0
+	for i := range ipc {
+		if base[i] <= 0 {
+			panic("stats: WeightedSpeedup baseline must be positive")
+		}
+		s += ipc[i] / base[i]
+	}
+	return s
+}
+
+// HarmonicMean returns the harmonic mean of positive values (fair-speedup
+// style metric). Panics on empty input or non-positive values.
+func HarmonicMean(xs []float64) float64 {
+	if len(xs) == 0 {
+		panic("stats: HarmonicMean of empty slice")
+	}
+	s := 0.0
+	for _, x := range xs {
+		if x <= 0 {
+			panic("stats: HarmonicMean needs positive values")
+		}
+		s += 1 / x
+	}
+	return float64(len(xs)) / s
+}
+
+// GeoMean returns the geometric mean of positive values.
+func GeoMean(xs []float64) float64 {
+	if len(xs) == 0 {
+		panic("stats: GeoMean of empty slice")
+	}
+	s := 0.0
+	for _, x := range xs {
+		if x <= 0 {
+			panic("stats: GeoMean needs positive values")
+		}
+		s += math.Log(x)
+	}
+	return math.Exp(s / float64(len(xs)))
+}
+
+// Mean returns the arithmetic mean (0 for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// AsciiCDF renders a compact textual CDF plot for terminal output: one row
+// per step of the y axis, '#' marking the curve. It exists so cmd/fstables
+// can show figure shapes without any plotting dependency.
+func AsciiCDF(label string, xs, ys []float64, width, height int) string {
+	if len(xs) == 0 || len(xs) != len(ys) || width < 2 || height < 2 {
+		return label + ": (no data)\n"
+	}
+	xmin, xmax := xs[0], xs[len(xs)-1]
+	if xmax == xmin {
+		xmax = xmin + 1
+	}
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", width))
+	}
+	for i := range xs {
+		cx := int((xs[i] - xmin) / (xmax - xmin) * float64(width-1))
+		cy := int(ys[i] * float64(height-1))
+		if cy >= height {
+			cy = height - 1
+		}
+		grid[height-1-cy][cx] = '#'
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s  (x: %.3g..%.3g, y: 0..1)\n", label, xmin, xmax)
+	for _, row := range grid {
+		b.WriteString("  |")
+		b.Write(row)
+		b.WriteByte('\n')
+	}
+	b.WriteString("  +" + strings.Repeat("-", width) + "\n")
+	return b.String()
+}

@@ -1,0 +1,298 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"fscache/internal/xrand"
+)
+
+func almost(a, b, eps float64) bool { return math.Abs(a-b) <= eps }
+
+func TestHistogramBasics(t *testing.T) {
+	h := NewHistogram(10)
+	for _, x := range []float64{0.05, 0.15, 0.95, 1.0, 0.0} {
+		h.Add(x)
+	}
+	if h.N() != 5 {
+		t.Fatalf("N = %d", h.N())
+	}
+	if !almost(h.Mean(), (0.05+0.15+0.95+1.0+0.0)/5, 1e-12) {
+		t.Fatalf("Mean = %v", h.Mean())
+	}
+	cdf := h.CDF()
+	if len(cdf) != 10 {
+		t.Fatalf("CDF len = %d", len(cdf))
+	}
+	if cdf[9] != 1.0 {
+		t.Fatalf("CDF final = %v, want 1", cdf[9])
+	}
+	// Two samples at or below 0.1 edge: 0.05 and 0.0.
+	if !almost(cdf[0], 0.4, 1e-12) {
+		t.Fatalf("CDF[0] = %v, want 0.4", cdf[0])
+	}
+}
+
+func TestHistogramClamp(t *testing.T) {
+	h := NewHistogram(4)
+	h.Add(-0.5)
+	h.Add(1.5)
+	if h.N() != 2 {
+		t.Fatalf("N = %d", h.N())
+	}
+	cdf := h.CDF()
+	if !almost(cdf[0], 0.5, 1e-12) || !almost(cdf[3], 1, 1e-12) {
+		t.Fatalf("clamped CDF wrong: %v", cdf)
+	}
+}
+
+func TestHistogramUniformAEF(t *testing.T) {
+	// Random evictions over uniform futility must give AEF 0.5 and a
+	// diagonal CDF — the paper's worst case F_WC(x) = x (§III-C).
+	h := NewHistogram(20)
+	rng := xrand.New(1)
+	for i := 0; i < 200000; i++ {
+		h.Add(rng.Float64())
+	}
+	if !almost(h.Mean(), 0.5, 0.005) {
+		t.Fatalf("uniform AEF = %v", h.Mean())
+	}
+	cdf := h.CDF()
+	for i, c := range cdf {
+		want := float64(i+1) / 20
+		if !almost(c, want, 0.01) {
+			t.Fatalf("CDF[%d] = %v, want %v", i, c, want)
+		}
+	}
+}
+
+func TestHistogramMaxOfRAEF(t *testing.T) {
+	// Evicting the max of R uniform candidates gives AEF = R/(R+1). This is
+	// the analytical anchor behind Fig. 2a's N=1 curve (R=16 → 0.941).
+	const R = 16
+	h := NewHistogram(50)
+	rng := xrand.New(2)
+	for i := 0; i < 100000; i++ {
+		m := 0.0
+		for j := 0; j < R; j++ {
+			if v := rng.Float64(); v > m {
+				m = v
+			}
+		}
+		h.Add(m)
+	}
+	if !almost(h.Mean(), float64(R)/(R+1), 0.003) {
+		t.Fatalf("max-of-%d AEF = %v, want %v", R, h.Mean(), float64(R)/(R+1))
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	h := NewHistogram(100)
+	for i := 0; i < 1000; i++ {
+		h.Add(float64(i) / 1000)
+	}
+	if q := h.Quantile(0.5); !almost(q, 0.5, 0.02) {
+		t.Fatalf("median = %v", q)
+	}
+	if q := h.Quantile(0.9); !almost(q, 0.9, 0.02) {
+		t.Fatalf("p90 = %v", q)
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	a, b := NewHistogram(8), NewHistogram(8)
+	a.Add(0.25)
+	b.Add(0.75)
+	b.Add(0.85)
+	a.Merge(b)
+	if a.N() != 3 {
+		t.Fatalf("merged N = %d", a.N())
+	}
+	if !almost(a.Mean(), (0.25+0.75+0.85)/3, 1e-12) {
+		t.Fatalf("merged Mean = %v", a.Mean())
+	}
+}
+
+func TestHistogramMergeWidthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	NewHistogram(4).Merge(NewHistogram(8))
+}
+
+func TestIntDist(t *testing.T) {
+	d := NewIntDist()
+	for _, v := range []int{-3, -1, 0, 1, 3} {
+		d.Add(v)
+	}
+	if d.N() != 5 {
+		t.Fatalf("N = %d", d.N())
+	}
+	if !almost(d.Mean(), 0, 1e-12) {
+		t.Fatalf("Mean = %v", d.Mean())
+	}
+	if !almost(d.MAD(), 8.0/5, 1e-12) {
+		t.Fatalf("MAD = %v", d.MAD())
+	}
+	values, cum := d.AbsCDF()
+	if len(values) != 4 { // |v| in {0,1,3}: 0,1,3 → wait, 1 appears twice, 3 twice
+		// values should be [0 1 3]
+		if len(values) != 3 {
+			t.Fatalf("AbsCDF values = %v", values)
+		}
+	}
+	_ = cum
+}
+
+func TestIntDistAbsCDF(t *testing.T) {
+	d := NewIntDist()
+	for _, v := range []int{-2, -1, 0, 1, 2} {
+		d.Add(v)
+	}
+	values, cum := d.AbsCDF()
+	wantV := []int{0, 1, 2}
+	wantC := []float64{0.2, 0.6, 1.0}
+	if len(values) != 3 {
+		t.Fatalf("values = %v", values)
+	}
+	for i := range wantV {
+		if values[i] != wantV[i] || !almost(cum[i], wantC[i], 1e-12) {
+			t.Fatalf("AbsCDF = %v,%v want %v,%v", values, cum, wantV, wantC)
+		}
+	}
+	if q := d.Quantile(0.5); q != 1 {
+		t.Fatalf("Quantile(0.5) = %d", q)
+	}
+}
+
+func TestRunning(t *testing.T) {
+	var r Running
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	for _, x := range xs {
+		r.Add(x)
+	}
+	if r.N() != 8 {
+		t.Fatalf("N = %d", r.N())
+	}
+	if !almost(r.Mean(), 5, 1e-12) {
+		t.Fatalf("Mean = %v", r.Mean())
+	}
+	if !almost(r.Stddev(), 2, 1e-12) {
+		t.Fatalf("Stddev = %v", r.Stddev())
+	}
+	if r.Min() != 2 || r.Max() != 9 {
+		t.Fatalf("Min/Max = %v/%v", r.Min(), r.Max())
+	}
+}
+
+func TestWeightedSpeedup(t *testing.T) {
+	ws := WeightedSpeedup([]float64{1, 2}, []float64{2, 2})
+	if !almost(ws, 1.5, 1e-12) {
+		t.Fatalf("WeightedSpeedup = %v", ws)
+	}
+}
+
+func TestMeans(t *testing.T) {
+	if !almost(HarmonicMean([]float64{1, 2}), 4.0/3, 1e-12) {
+		t.Fatal("HarmonicMean wrong")
+	}
+	if !almost(GeoMean([]float64{1, 4}), 2, 1e-12) {
+		t.Fatal("GeoMean wrong")
+	}
+	if !almost(Mean([]float64{1, 2, 3}), 2, 1e-12) {
+		t.Fatal("Mean wrong")
+	}
+	if Mean(nil) != 0 {
+		t.Fatal("Mean(nil) != 0")
+	}
+}
+
+func TestPanicsOnBadInput(t *testing.T) {
+	cases := []func(){
+		func() { NewHistogram(0) },
+		func() { WeightedSpeedup([]float64{1}, []float64{1, 2}) },
+		func() { WeightedSpeedup([]float64{1}, []float64{0}) },
+		func() { HarmonicMean(nil) },
+		func() { HarmonicMean([]float64{0}) },
+		func() { GeoMean(nil) },
+		func() { GeoMean([]float64{-1}) },
+	}
+	for i, fn := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d did not panic", i)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+// Property: CDF is monotone non-decreasing and ends at 1 for any sample set.
+func TestQuickCDFMonotone(t *testing.T) {
+	f := func(raw []float64) bool {
+		h := NewHistogram(16)
+		for _, x := range raw {
+			h.Add(math.Abs(x) - math.Floor(math.Abs(x))) // fold into [0,1)
+		}
+		if h.N() == 0 {
+			return true
+		}
+		cdf := h.CDF()
+		prev := 0.0
+		for _, c := range cdf {
+			if c < prev {
+				return false
+			}
+			prev = c
+		}
+		return almost(cdf[len(cdf)-1], 1, 1e-12)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Running mean equals naive mean; MAD is within [0, max|x|].
+func TestQuickRunningMatchesNaive(t *testing.T) {
+	f := func(raw []int16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		var r Running
+		d := NewIntDist()
+		sum := 0.0
+		maxAbs := 0.0
+		for _, v := range raw {
+			x := float64(v)
+			r.Add(x)
+			d.Add(int(v))
+			sum += x
+			if math.Abs(x) > maxAbs {
+				maxAbs = math.Abs(x)
+			}
+		}
+		naive := sum / float64(len(raw))
+		return almost(r.Mean(), naive, 1e-6*(1+math.Abs(naive))) &&
+			d.MAD() >= 0 && d.MAD() <= maxAbs+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAsciiCDF(t *testing.T) {
+	xs := []float64{0, 0.5, 1}
+	ys := []float64{0, 0.5, 1}
+	out := AsciiCDF("test", xs, ys, 20, 5)
+	if out == "" || out == "test: (no data)\n" {
+		t.Fatalf("AsciiCDF produced %q", out)
+	}
+	if got := AsciiCDF("x", nil, nil, 20, 5); got != "x: (no data)\n" {
+		t.Fatalf("empty AsciiCDF = %q", got)
+	}
+}

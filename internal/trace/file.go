@@ -1,0 +1,97 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Binary trace file format (little endian):
+//
+//	magic   [4]byte  "FST1"
+//	count   uint64   number of access records
+//	records count × { addr uint64, gap uint32, kind uint8 }
+//
+// The format is deliberately dumb — fixed-width fields, no compression — so
+// that cmd/fstrace output is easy to inspect and third-party tools can parse
+// it with a ten-line script.
+
+var magic = [4]byte{'F', 'S', 'T', '1'}
+
+// ErrBadMagic reports a file that is not a trace file.
+var ErrBadMagic = errors.New("trace: bad magic, not a trace file")
+
+const recordSize = 8 + 4 + 1
+
+// WriteTo serializes the trace to w. NextUse is not persisted; it is cheap
+// to recompute.
+func (t *Trace) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	var written int64
+	if n, err := bw.Write(magic[:]); err != nil {
+		return written + int64(n), err
+	}
+	written += 4
+	var hdr [8]byte
+	binary.LittleEndian.PutUint64(hdr[:], uint64(len(t.Accesses)))
+	if n, err := bw.Write(hdr[:]); err != nil {
+		return written + int64(n), err
+	}
+	written += 8
+	var rec [recordSize]byte
+	for i := range t.Accesses {
+		a := &t.Accesses[i]
+		binary.LittleEndian.PutUint64(rec[0:8], a.Addr)
+		binary.LittleEndian.PutUint32(rec[8:12], a.Gap)
+		rec[12] = byte(a.Kind)
+		if n, err := bw.Write(rec[:]); err != nil {
+			return written + int64(n), err
+		}
+		written += recordSize
+	}
+	if err := bw.Flush(); err != nil {
+		return written, err
+	}
+	return written, nil
+}
+
+// ReadFrom deserializes a trace from r, replacing t's contents.
+func (t *Trace) ReadFrom(r io.Reader) (int64, error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	var read int64
+	var m [4]byte
+	if _, err := io.ReadFull(br, m[:]); err != nil {
+		return read, err
+	}
+	read += 4
+	if m != magic {
+		return read, ErrBadMagic
+	}
+	var hdr [8]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return read, err
+	}
+	read += 8
+	count := binary.LittleEndian.Uint64(hdr[:])
+	const maxRecords = 1 << 32
+	if count > maxRecords {
+		return read, fmt.Errorf("trace: implausible record count %d", count)
+	}
+	t.Accesses = make([]Access, count)
+	t.NextUse = nil
+	var rec [recordSize]byte
+	for i := uint64(0); i < count; i++ {
+		if _, err := io.ReadFull(br, rec[:]); err != nil {
+			return read, fmt.Errorf("trace: truncated at record %d: %w", i, err)
+		}
+		read += recordSize
+		t.Accesses[i] = Access{
+			Addr: binary.LittleEndian.Uint64(rec[0:8]),
+			Gap:  binary.LittleEndian.Uint32(rec[8:12]),
+			Kind: Kind(rec[12]),
+		}
+	}
+	return read, nil
+}

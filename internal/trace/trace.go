@@ -1,0 +1,126 @@
+// Package trace defines the access-stream representation shared by workload
+// generators, the L1 filter and the L2 cache simulator, plus the Belady
+// next-use precomputation that exact OPT futility ranking requires.
+//
+// A trace is a per-thread sequence: partitions in this reproduction are
+// per-thread (as in the paper's QoS experiments), so futility ranking —
+// including OPT — is intra-thread, and per-thread traces carry everything
+// the ranker needs regardless of how the multicore simulator interleaves
+// them.
+package trace
+
+import "math"
+
+// Kind distinguishes reads from writes. The timing model treats them alike
+// (as the paper's does), but trace files preserve the distinction.
+type Kind uint8
+
+// Access kinds.
+const (
+	Read Kind = iota
+	Write
+)
+
+// Access is one memory reference at cache-line granularity.
+type Access struct {
+	// Addr is the line address (byte address >> 6 for 64-byte lines).
+	Addr uint64
+	// Gap is the number of non-memory instructions executed since the
+	// previous access of the same thread; it drives the IPC model.
+	Gap uint32
+	// Kind is Read or Write.
+	Kind Kind
+}
+
+// NoNextUse marks an access whose line is never referenced again.
+const NoNextUse = int64(math.MaxInt64)
+
+// Trace is an in-memory access sequence for one thread.
+type Trace struct {
+	Accesses []Access
+	// NextUse[i], when non-nil, is the index of the next access to the same
+	// line after i, or NoNextUse. Populated by ComputeNextUse.
+	NextUse []int64
+}
+
+// Len returns the number of accesses.
+func (t *Trace) Len() int { return len(t.Accesses) }
+
+// Instructions returns the total instruction count represented by the trace:
+// every access counts as one instruction plus its Gap of non-memory work.
+func (t *Trace) Instructions() uint64 {
+	var n uint64
+	for i := range t.Accesses {
+		n += uint64(t.Accesses[i].Gap) + 1
+	}
+	return n
+}
+
+// ComputeNextUse fills in t.NextUse with a single backward scan. It makes
+// exact Belady/OPT futility ranking possible: when access i is performed,
+// the referenced line's next use is NextUse[i].
+func (t *Trace) ComputeNextUse() {
+	n := len(t.Accesses)
+	t.NextUse = make([]int64, n)
+	last := make(map[uint64]int64, 1024)
+	for i := n - 1; i >= 0; i-- {
+		a := t.Accesses[i].Addr
+		if j, ok := last[a]; ok {
+			t.NextUse[i] = j
+		} else {
+			t.NextUse[i] = NoNextUse
+		}
+		last[a] = int64(i)
+	}
+}
+
+// Footprint returns the number of distinct lines touched.
+func (t *Trace) Footprint() int {
+	seen := make(map[uint64]struct{}, 1024)
+	for i := range t.Accesses {
+		seen[t.Accesses[i].Addr] = struct{}{}
+	}
+	return len(seen)
+}
+
+// Generator produces an unbounded deterministic access stream. Workload
+// profiles implement it; the L1 filter consumes it.
+type Generator interface {
+	// Next returns the next access in the stream.
+	Next() Access
+}
+
+// Collect drains n accesses from g into a Trace.
+func Collect(g Generator, n int) *Trace {
+	t := &Trace{Accesses: make([]Access, n)}
+	for i := 0; i < n; i++ {
+		t.Accesses[i] = g.Next()
+	}
+	return t
+}
+
+// SliceGenerator replays a fixed access slice, cycling when exhausted.
+// It adapts recorded traces back into the Generator interface.
+type SliceGenerator struct {
+	accesses []Access
+	pos      int
+}
+
+// NewSliceGenerator returns a generator replaying accesses cyclically.
+// The slice must be non-empty.
+func NewSliceGenerator(accesses []Access) *SliceGenerator {
+	if len(accesses) == 0 {
+		panic("trace: SliceGenerator needs a non-empty slice")
+	}
+	return &SliceGenerator{accesses: accesses}
+}
+
+// Next returns the next access, wrapping around at the end.
+func (s *SliceGenerator) Next() Access {
+	a := s.accesses[s.pos]
+	s.pos++
+	if s.pos == len(s.accesses) {
+		s.pos = 0
+	}
+	return a
+}

@@ -1,0 +1,345 @@
+// Package workload synthesizes the multiprogrammed benchmark behaviors the
+// paper evaluates with SPEC CPU2006 traces. We do not have SPEC or the
+// authors' Sniper traces, so each benchmark is modeled as a mixture of
+// access-pattern components calibrated to the qualitative properties the
+// paper itself relies on (see DESIGN.md §4):
+//
+//   - mcf: memory-intensive, multi-MB working set with skewed reuse —
+//     strongly associativity-sensitive (Fig. 2, Fig. 6).
+//   - gromacs: small working set — sensitive at 128 KB, flat beyond 1 MB
+//     (Fig. 6a); the paper's QoS subject thread.
+//   - lbm, libquantum: streaming, miss-intensive, associativity-insensitive;
+//     lbm is the paper's QoS background thread.
+//   - cactusADM: cyclic scans slightly larger than the cache — LRU-adverse,
+//     so added associativity can *hurt* under LRU (Fig. 6b).
+//   - omnetpp, h264ref, astar: moderate working sets and reuse.
+//
+// A profile deterministically expands (per seed and thread id) into an
+// unbounded memory-reference stream (trace.Generator) at 64-byte-line
+// granularity with instruction gaps driving the IPC model.
+package workload
+
+import (
+	"fmt"
+	"math"
+
+	"fscache/internal/trace"
+	"fscache/internal/xrand"
+)
+
+// PatternKind selects an access-pattern component.
+type PatternKind int
+
+// Pattern kinds.
+const (
+	// Zipf draws lines from a region with Zipf(Theta)-distributed
+	// popularity: skewed reuse that rewards good replacement.
+	Zipf PatternKind = iota
+	// Stream walks a large region sequentially, wrapping at the end:
+	// no short-term reuse, misses dominated by compulsory/capacity.
+	Stream
+	// Cycle walks a region sequentially in a tight loop. When the region
+	// slightly exceeds the cache this is the classic LRU-adverse pattern.
+	Cycle
+	// Uniform draws lines uniformly from a region: reuse without skew.
+	Uniform
+)
+
+// String implements fmt.Stringer.
+func (k PatternKind) String() string {
+	switch k {
+	case Zipf:
+		return "zipf"
+	case Stream:
+		return "stream"
+	case Cycle:
+		return "cycle"
+	case Uniform:
+		return "uniform"
+	default:
+		return fmt.Sprintf("pattern(%d)", int(k))
+	}
+}
+
+// Pattern is one weighted component of a benchmark's access mix.
+type Pattern struct {
+	Kind PatternKind
+	// Lines is the component's region size in cache lines.
+	Lines int
+	// Theta is the Zipf exponent (Zipf kind only).
+	Theta float64
+	// Weight is the relative probability of drawing from this component.
+	Weight float64
+}
+
+// Profile models one benchmark.
+type Profile struct {
+	// Name is the benchmark's SPEC-style name.
+	Name string
+	// MemPerKI is the number of memory references per 1000 instructions;
+	// it sets the instruction gaps between references.
+	MemPerKI int
+	// Mix is the weighted set of pattern components.
+	Mix []Pattern
+}
+
+// Shrunk returns a copy of the profile with every component region divided
+// by div (floored at 64 lines). Reduced-scale experiments shrink workloads
+// and caches together so working-set-to-cache ratios — which drive every
+// qualitative result — are preserved.
+func (p Profile) Shrunk(div int) Profile {
+	if div <= 1 {
+		return p
+	}
+	out := p
+	out.Mix = append([]Pattern(nil), p.Mix...)
+	for i := range out.Mix {
+		out.Mix[i].Lines /= div
+		if out.Mix[i].Lines < 64 {
+			out.Mix[i].Lines = 64
+		}
+	}
+	return out
+}
+
+// Validate reports configuration errors.
+func (p Profile) Validate() error {
+	if p.Name == "" {
+		return fmt.Errorf("workload: profile without name")
+	}
+	if p.MemPerKI <= 0 || p.MemPerKI > 1000 {
+		return fmt.Errorf("workload %s: MemPerKI %d out of (0,1000]", p.Name, p.MemPerKI)
+	}
+	if len(p.Mix) == 0 {
+		return fmt.Errorf("workload %s: empty mix", p.Name)
+	}
+	total := 0.0
+	for i, m := range p.Mix {
+		if m.Lines <= 0 {
+			return fmt.Errorf("workload %s: component %d has no lines", p.Name, i)
+		}
+		if m.Weight <= 0 {
+			return fmt.Errorf("workload %s: component %d has non-positive weight", p.Name, i)
+		}
+		if m.Kind == Zipf && m.Theta <= 0 {
+			return fmt.Errorf("workload %s: component %d needs positive theta", p.Name, i)
+		}
+		total += m.Weight
+	}
+	if total <= 0 {
+		return fmt.Errorf("workload %s: zero total weight", p.Name)
+	}
+	return nil
+}
+
+// generator expands a profile into an access stream.
+type generator struct {
+	rng     *xrand.Rand
+	cum     []float64 // cumulative component weights
+	comps   []component
+	meanGap float64
+}
+
+type component struct {
+	kind  PatternKind
+	base  uint64
+	lines uint64
+	zipf  *xrand.Zipf
+	pos   uint64
+}
+
+// maxZipfTable caps the inverse-CDF table size; larger regions fold the
+// Zipf ranks over the region with a fixed multiplier so popularity stays
+// skewed without a gigantic table.
+const maxZipfTable = 1 << 16
+
+// NewGenerator expands the profile into a deterministic reference stream.
+// Distinct (seed, thread) pairs yield independent streams over disjoint
+// address spaces — the multiprogrammed SPEC setting has no sharing.
+func (p Profile) NewGenerator(seed uint64, thread int) trace.Generator {
+	if err := p.Validate(); err != nil {
+		panic(err)
+	}
+	rng := xrand.New(xrand.Mix64(seed ^ uint64(thread)*0x9e37))
+	g := &generator{
+		rng:     rng,
+		meanGap: 1000.0/float64(p.MemPerKI) - 1,
+	}
+	total := 0.0
+	for _, m := range p.Mix {
+		total += m.Weight
+	}
+	acc := 0.0
+	for ci, m := range p.Mix {
+		acc += m.Weight
+		g.cum = append(g.cum, acc/total)
+		c := component{
+			kind: m.Kind,
+			// Disjoint spaces: thread in the top bits, component below.
+			base:  uint64(thread+1)<<44 | uint64(ci+1)<<36,
+			lines: uint64(m.Lines),
+		}
+		if m.Kind == Zipf {
+			n := m.Lines
+			if n > maxZipfTable {
+				n = maxZipfTable
+			}
+			c.zipf = xrand.NewZipf(rng, m.Theta, n)
+		}
+		g.comps = append(g.comps, c)
+	}
+	return g
+}
+
+// Next implements trace.Generator.
+func (g *generator) Next() trace.Access {
+	u := g.rng.Float64()
+	ci := 0
+	for ci < len(g.cum)-1 && u >= g.cum[ci] {
+		ci++
+	}
+	c := &g.comps[ci]
+	var off uint64
+	switch c.kind {
+	case Zipf:
+		rank := uint64(c.zipf.Next())
+		if c.lines > maxZipfTable {
+			// Fold the rank over the larger region deterministically so hot
+			// ranks stay hot but are spread across the region.
+			off = (rank * 0x9e3779b97f4a7c15) % c.lines
+		} else {
+			// Scatter ranks so popularity is not spatially contiguous.
+			off = (rank * 2654435761) % c.lines
+		}
+	case Stream, Cycle:
+		off = c.pos
+		c.pos++
+		if c.pos >= c.lines {
+			c.pos = 0
+		}
+	case Uniform:
+		off = g.rng.Uint64n(c.lines)
+	}
+	gap := g.gap()
+	kind := trace.Read
+	if g.rng.Bool(0.3) {
+		kind = trace.Write
+	}
+	return trace.Access{Addr: c.base + off, Gap: gap, Kind: kind}
+}
+
+// gap draws a geometric-ish instruction gap with the profile's mean.
+func (g *generator) gap() uint32 {
+	if g.meanGap <= 0 {
+		return 0
+	}
+	u := g.rng.Float64()
+	if u < 1e-12 {
+		u = 1e-12
+	}
+	v := -g.meanGap * math.Log(u) // exponential with the right mean
+	if v > 100000 {
+		v = 100000
+	}
+	return uint32(v)
+}
+
+const kiLines = 1024 // lines per unit below; 1 KiLine = 64 KiB
+
+// Profiles returns the eight benchmark models used throughout the paper's
+// evaluation, keyed by their SPEC names.
+func Profiles() []Profile {
+	return []Profile{
+		{
+			// Large skewed working set, memory intensive, the paper's
+			// flagship associativity-sensitive benchmark.
+			Name: "mcf", MemPerKI: 60,
+			Mix: []Pattern{
+				{Kind: Zipf, Lines: 48 * kiLines, Theta: 0.9, Weight: 0.80},
+				{Kind: Stream, Lines: 512 * kiLines, Weight: 0.20},
+			},
+		},
+		{
+			Name: "omnetpp", MemPerKI: 35,
+			Mix: []Pattern{
+				{Kind: Zipf, Lines: 24 * kiLines, Theta: 0.85, Weight: 0.70},
+				{Kind: Uniform, Lines: 12 * kiLines, Weight: 0.20},
+				{Kind: Stream, Lines: 256 * kiLines, Weight: 0.10},
+			},
+		},
+		{
+			// Small working set: fits comfortably in ≥1 MB, pressured at
+			// 128–256 KB. The QoS experiments' subject thread.
+			// Working set comparable to its 256 KB QoS guarantee: protected,
+			// it hits; flooded by streamers, its longer-reuse lines die
+			// before reuse. Low memory intensity — it cannot defend space
+			// by insertion volume, only via the enforcement scheme.
+			Name: "gromacs", MemPerKI: 12,
+			Mix: []Pattern{
+				{Kind: Zipf, Lines: 3 * kiLines, Theta: 1.1, Weight: 0.85},
+				{Kind: Uniform, Lines: 1 * kiLines, Weight: 0.15},
+			},
+		},
+		{
+			Name: "h264ref", MemPerKI: 20,
+			Mix: []Pattern{
+				{Kind: Zipf, Lines: 10 * kiLines, Theta: 1.0, Weight: 0.75},
+				{Kind: Cycle, Lines: 6 * kiLines, Weight: 0.15},
+				{Kind: Stream, Lines: 128 * kiLines, Weight: 0.10},
+			},
+		},
+		{
+			Name: "astar", MemPerKI: 30,
+			Mix: []Pattern{
+				{Kind: Zipf, Lines: 20 * kiLines, Theta: 0.8, Weight: 0.70},
+				{Kind: Uniform, Lines: 8 * kiLines, Weight: 0.30},
+			},
+		},
+		{
+			// Cyclic scans a bit larger than typical cache shares:
+			// LRU-adverse (Fig. 6b shows full associativity hurting).
+			Name: "cactusADM", MemPerKI: 40,
+			Mix: []Pattern{
+				{Kind: Cycle, Lines: 12 * kiLines, Weight: 0.80},
+				{Kind: Zipf, Lines: 2 * kiLines, Theta: 0.9, Weight: 0.20},
+			},
+		},
+		{
+			Name: "libquantum", MemPerKI: 50,
+			Mix: []Pattern{
+				{Kind: Stream, Lines: 512 * kiLines, Weight: 1.0},
+			},
+		},
+		{
+			// The most memory-intensive streamer; the QoS experiments'
+			// background thread that swamps unregulated caches.
+			Name: "lbm", MemPerKI: 70,
+			Mix: []Pattern{
+				{Kind: Stream, Lines: 1024 * kiLines, Weight: 0.95},
+				{Kind: Uniform, Lines: 2 * kiLines, Weight: 0.05},
+			},
+		},
+	}
+}
+
+// ByName returns the named profile or an error listing valid names.
+func ByName(name string) (Profile, error) {
+	names := make([]string, 0, 8)
+	for _, p := range Profiles() {
+		if p.Name == name {
+			return p, nil
+		}
+		names = append(names, p.Name)
+	}
+	return Profile{}, fmt.Errorf("workload: unknown benchmark %q (have %v)", name, names)
+}
+
+// Names returns all benchmark names in evaluation order.
+func Names() []string {
+	ps := Profiles()
+	out := make([]string, len(ps))
+	for i := range ps {
+		out[i] = ps[i].Name
+	}
+	return out
+}

@@ -1,0 +1,184 @@
+package workload
+
+import (
+	"testing"
+
+	"fscache/internal/trace"
+)
+
+func TestProfilesValid(t *testing.T) {
+	ps := Profiles()
+	if len(ps) != 8 {
+		t.Fatalf("expected 8 benchmarks, got %d", len(ps))
+	}
+	for _, p := range ps {
+		if err := p.Validate(); err != nil {
+			t.Errorf("%s: %v", p.Name, err)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	p, err := ByName("mcf")
+	if err != nil || p.Name != "mcf" {
+		t.Fatalf("ByName(mcf) = %v, %v", p.Name, err)
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Fatal("unknown name accepted")
+	}
+	if len(Names()) != 8 {
+		t.Fatal("Names() wrong length")
+	}
+}
+
+func TestGeneratorDeterminism(t *testing.T) {
+	p, _ := ByName("mcf")
+	a := trace.Collect(p.NewGenerator(7, 3), 2000)
+	b := trace.Collect(p.NewGenerator(7, 3), 2000)
+	for i := range a.Accesses {
+		if a.Accesses[i] != b.Accesses[i] {
+			t.Fatalf("streams diverge at %d", i)
+		}
+	}
+	c := trace.Collect(p.NewGenerator(8, 3), 2000)
+	same := 0
+	for i := range a.Accesses {
+		if a.Accesses[i].Addr == c.Accesses[i].Addr {
+			same++
+		}
+	}
+	if same > 200 {
+		t.Fatalf("different seeds nearly identical: %d/2000 equal", same)
+	}
+}
+
+func TestThreadsDisjointAddressSpaces(t *testing.T) {
+	p, _ := ByName("omnetpp")
+	a := trace.Collect(p.NewGenerator(1, 0), 5000)
+	b := trace.Collect(p.NewGenerator(1, 1), 5000)
+	seen := map[uint64]bool{}
+	for i := range a.Accesses {
+		seen[a.Accesses[i].Addr] = true
+	}
+	for i := range b.Accesses {
+		if seen[b.Accesses[i].Addr] {
+			t.Fatalf("threads share address %#x", b.Accesses[i].Addr)
+		}
+	}
+}
+
+func TestGapMeansTrackIntensity(t *testing.T) {
+	lbm, _ := ByName("lbm")      // 70 refs/KI
+	h264, _ := ByName("h264ref") // 20 refs/KI
+	tLbm := trace.Collect(lbm.NewGenerator(2, 0), 20000)
+	tH := trace.Collect(h264.NewGenerator(2, 0), 20000)
+	perRefLbm := float64(tLbm.Instructions()) / 20000
+	perRefH := float64(tH.Instructions()) / 20000
+	// lbm: ~1000/70 ≈ 14 instructions per reference; h264ref: ~50.
+	if perRefLbm < 10 || perRefLbm > 20 {
+		t.Fatalf("lbm instructions/ref = %v, want ≈14", perRefLbm)
+	}
+	if perRefH < 38 || perRefH > 65 {
+		t.Fatalf("h264ref instructions/ref = %v, want ≈50", perRefH)
+	}
+	if perRefLbm >= perRefH {
+		t.Fatal("intensity ordering violated")
+	}
+}
+
+// The footprints must be ordered by design: gromacs small, mcf large,
+// streaming benchmarks huge.
+func TestFootprintOrdering(t *testing.T) {
+	foot := func(name string) int {
+		p, _ := ByName(name)
+		return trace.Collect(p.NewGenerator(3, 0), 200000).Footprint()
+	}
+	g, m, l := foot("gromacs"), foot("mcf"), foot("lbm")
+	if !(g < m && m < l) {
+		t.Fatalf("footprints not ordered: gromacs %d, mcf %d, lbm %d", g, m, l)
+	}
+	// gromacs must fit in ~1 MB (16 Ki lines) of cache.
+	if g > 16*1024 {
+		t.Fatalf("gromacs footprint %d lines, want < 16Ki", g)
+	}
+}
+
+// Zipf reuse: mcf's stream must revisit hot lines heavily, while
+// libquantum (pure streaming over a huge region) must show almost no reuse
+// within a window smaller than its region.
+func TestReuseContrast(t *testing.T) {
+	reuseFrac := func(name string, n int) float64 {
+		p, _ := ByName(name)
+		tr := trace.Collect(p.NewGenerator(4, 0), n)
+		seen := map[uint64]bool{}
+		reuse := 0
+		for i := range tr.Accesses {
+			a := tr.Accesses[i].Addr
+			if seen[a] {
+				reuse++
+			}
+			seen[a] = true
+		}
+		return float64(reuse) / float64(n)
+	}
+	m := reuseFrac("mcf", 100000)
+	lq := reuseFrac("libquantum", 100000)
+	if m < 0.3 {
+		t.Fatalf("mcf reuse fraction %v, want heavy reuse", m)
+	}
+	if lq > 0.02 {
+		t.Fatalf("libquantum reuse fraction %v, want ≈0", lq)
+	}
+}
+
+// cactusADM's dominant component is a cyclic scan: consecutive accesses are
+// mostly sequential within the loop region.
+func TestCactusCyclic(t *testing.T) {
+	p, _ := ByName("cactusADM")
+	tr := trace.Collect(p.NewGenerator(5, 0), 50000)
+	sequential := 0
+	for i := 1; i < len(tr.Accesses); i++ {
+		if tr.Accesses[i].Addr == tr.Accesses[i-1].Addr+1 {
+			sequential++
+		}
+	}
+	if frac := float64(sequential) / 50000; frac < 0.5 {
+		t.Fatalf("cactusADM sequential fraction %v, want cyclic-dominated", frac)
+	}
+}
+
+func TestValidateCatchesBadProfiles(t *testing.T) {
+	bad := []Profile{
+		{},
+		{Name: "x", MemPerKI: 0, Mix: []Pattern{{Kind: Stream, Lines: 1, Weight: 1}}},
+		{Name: "x", MemPerKI: 2000, Mix: []Pattern{{Kind: Stream, Lines: 1, Weight: 1}}},
+		{Name: "x", MemPerKI: 10},
+		{Name: "x", MemPerKI: 10, Mix: []Pattern{{Kind: Stream, Lines: 0, Weight: 1}}},
+		{Name: "x", MemPerKI: 10, Mix: []Pattern{{Kind: Stream, Lines: 1, Weight: 0}}},
+		{Name: "x", MemPerKI: 10, Mix: []Pattern{{Kind: Zipf, Lines: 1, Weight: 1, Theta: 0}}},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("bad profile %d validated", i)
+		}
+	}
+}
+
+func TestPatternKindString(t *testing.T) {
+	for k, want := range map[PatternKind]string{
+		Zipf: "zipf", Stream: "stream", Cycle: "cycle", Uniform: "uniform",
+		PatternKind(42): "pattern(42)",
+	} {
+		if got := k.String(); got != want {
+			t.Errorf("String(%d) = %q", int(k), got)
+		}
+	}
+}
+
+func BenchmarkGeneratorNext(b *testing.B) {
+	p, _ := ByName("mcf")
+	g := p.NewGenerator(1, 0)
+	for i := 0; i < b.N; i++ {
+		g.Next()
+	}
+}
