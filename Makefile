@@ -1,0 +1,25 @@
+# Developer entry points. `make check` is what CI runs.
+
+GO ?= go
+
+.PHONY: build test race lint check fmt
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/experiments ./internal/core
+
+lint:
+	$(GO) vet ./...
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:" >&2; echo "$$out" >&2; exit 1; fi
+	$(GO) run ./cmd/fslint ./...
+
+fmt:
+	gofmt -w .
+
+check: build lint test race

@@ -1,0 +1,127 @@
+// Command fslint runs the repository's custom static analyzers over Go
+// packages, in the spirit of a go/analysis multichecker. It enforces the
+// simulator's determinism and numeric-safety contract:
+//
+//	determinism  no math/rand, wall-clock reads or order-sensitive map
+//	             iteration in simulation packages
+//	floateq      no ==/!= between floating-point expressions
+//	panicstyle   panic messages must carry the "pkg: " prefix
+//	tswrap       no raw arithmetic on 8-bit wrapping timestamp fields
+//
+// Usage:
+//
+//	go run ./cmd/fslint ./...
+//	go run ./cmd/fslint -analyzers floateq,tswrap ./internal/futility
+//
+// fslint exits 0 when the tree is clean and 1 when it has findings, so it
+// can gate CI. Individual findings are suppressed in source with
+//
+//	//fslint:ignore <analyzer>[,<analyzer>] <reason>
+//
+// on the offending line or the line above it.
+//
+// The framework under internal/lint/analysis is a dependency-free mirror of
+// golang.org/x/tools/go/analysis (this module deliberately has no
+// third-party requirements), so the `go vet -vettool` protocol is not
+// supported; run fslint directly instead.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"fscache/internal/lint/analysis"
+	"fscache/internal/lint/determinism"
+	"fscache/internal/lint/floateq"
+	"fscache/internal/lint/panicstyle"
+	"fscache/internal/lint/tswrap"
+)
+
+var all = []*analysis.Analyzer{
+	determinism.Analyzer,
+	floateq.Analyzer,
+	panicstyle.Analyzer,
+	tswrap.Analyzer,
+}
+
+func main() {
+	list := flag.Bool("list", false, "list registered analyzers and exit")
+	names := flag.String("analyzers", "", "comma-separated subset of analyzers to run (default: all)")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: fslint [-list] [-analyzers a,b] [packages]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *list {
+		for _, a := range all {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	active, err := selectAnalyzers(*names)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fslint:", err)
+		os.Exit(2)
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	units, err := analysis.Load(".", patterns)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fslint:", err)
+		os.Exit(2)
+	}
+	findings, err := analysis.Run(units, active)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fslint:", err)
+		os.Exit(2)
+	}
+
+	cwd, _ := os.Getwd()
+	for _, f := range findings {
+		if cwd != "" {
+			if rel, err := filepath.Rel(cwd, f.Pos.Filename); err == nil && !strings.HasPrefix(rel, "..") {
+				f.Pos.Filename = rel
+			}
+		}
+		fmt.Println(f)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "fslint: %d finding(s)\n", len(findings))
+		os.Exit(1)
+	}
+}
+
+func selectAnalyzers(names string) ([]*analysis.Analyzer, error) {
+	if names == "" {
+		return all, nil
+	}
+	byName := map[string]*analysis.Analyzer{}
+	for _, a := range all {
+		byName[a.Name] = a
+	}
+	var active []*analysis.Analyzer
+	for _, n := range strings.Split(names, ",") {
+		n = strings.TrimSpace(n)
+		if n == "" {
+			continue
+		}
+		a, ok := byName[n]
+		if !ok {
+			return nil, fmt.Errorf("unknown analyzer %q", n)
+		}
+		active = append(active, a)
+	}
+	if len(active) == 0 {
+		return nil, fmt.Errorf("no analyzers selected")
+	}
+	return active, nil
+}

@@ -51,20 +51,29 @@ func fill(a Array, n int, rng *xrand.Rand) []uint64 {
 	return addrs
 }
 
-func arrays(lines int) map[string]Array {
-	return map[string]Array{
-		"setassoc-xor": NewSetAssoc(lines, 4, IndexXOR, 1),
-		"setassoc-h3":  NewSetAssoc(lines, 4, IndexH3, 2),
-		"direct":       NewDirectMapped(lines, IndexH3, 3),
-		"skew":         NewSkew(lines, 4, 4),
-		"random":       NewRandom(lines, 8, 5),
-		"fullyassoc":   NewFullyAssoc(lines),
-		"zcache":       NewZCache(lines, 4, 2, 6),
+type namedArray struct {
+	name string
+	a    Array
+}
+
+// arrays returns every organization under test in a fixed order, so
+// subtest order — and the draw order of any RNG shared across subtests —
+// is identical on every run.
+func arrays(lines int) []namedArray {
+	return []namedArray{
+		{"setassoc-xor", NewSetAssoc(lines, 4, IndexXOR, 1)},
+		{"setassoc-h3", NewSetAssoc(lines, 4, IndexH3, 2)},
+		{"direct", NewDirectMapped(lines, IndexH3, 3)},
+		{"skew", NewSkew(lines, 4, 4)},
+		{"random", NewRandom(lines, 8, 5)},
+		{"fullyassoc", NewFullyAssoc(lines)},
+		{"zcache", NewZCache(lines, 4, 2, 6)},
 	}
 }
 
 func TestLookupAfterInstall(t *testing.T) {
-	for name, a := range arrays(64) {
+	for _, na := range arrays(64) {
+		name, a := na.name, na.a
 		t.Run(name, func(t *testing.T) {
 			rng := xrand.New(7)
 			// Install half capacity; every installed address must be found
@@ -97,9 +106,9 @@ func TestLookupAfterInstall(t *testing.T) {
 }
 
 func TestLookupMissing(t *testing.T) {
-	for name, a := range arrays(64) {
-		if got := a.Lookup(0xdeadbeef); got != -1 {
-			t.Errorf("%s: Lookup on empty array = %d", name, got)
+	for _, na := range arrays(64) {
+		if got := na.a.Lookup(0xdeadbeef); got != -1 {
+			t.Errorf("%s: Lookup on empty array = %d", na.name, got)
 		}
 	}
 }
@@ -126,7 +135,8 @@ func TestCandidateCounts(t *testing.T) {
 func TestCandidatesContainInstallTarget(t *testing.T) {
 	// Whatever victim we choose from Candidates, Install must make the
 	// address findable.
-	for name, a := range arrays(128) {
+	for _, na := range arrays(128) {
+		name, a := na.name, na.a
 		t.Run(name, func(t *testing.T) {
 			rng := xrand.New(11)
 			fill(a, 128, rng) // fill to capacity (may displace; fine)
@@ -284,15 +294,16 @@ func TestZCacheRelocationPreservesContents(t *testing.T) {
 		resident[addr] = true
 		order = append(order, addr)
 		// Every resident address must remain findable after relocation.
+		// Walk the insertion log rather than the resident map so the
+		// check visits addresses in a reproducible order.
 		if i%50 == 0 {
-			for a := range resident {
-				if z.Lookup(a) < 0 {
+			for _, a := range order {
+				if resident[a] && z.Lookup(a) < 0 {
 					t.Fatalf("iteration %d: resident %#x lost after relocations", i, a)
 				}
 			}
 		}
 	}
-	_ = order
 	if len(resident) > 256 {
 		t.Fatalf("resident set %d exceeds capacity", len(resident))
 	}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"math"
+	"sort"
 	"testing"
 
 	"fscache/internal/analytic"
@@ -145,7 +146,15 @@ func TestControllerChaos(t *testing.T) {
 		"zcache":   cachearray.NewZCache(lines, 4, 2, 3),
 		"random":   cachearray.NewRandom(lines, 8, 4),
 	}
-	for name, arr := range arrays {
+	// Iterate in sorted-key order: subtest order (and the draw order of
+	// any RNG shared across subtests) must not depend on map layout.
+	names := make([]string, 0, len(arrays))
+	for name := range arrays {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		arr := arrays[name]
 		t.Run(name, func(t *testing.T) {
 			const parts = 4 // 3 app + 1 demote sink
 			c := New(Config{

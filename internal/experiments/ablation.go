@@ -58,7 +58,7 @@ func AblationFS(scale Scale) AblationFSResult {
 		if b.FSFixed != nil {
 			a, err := analytic.ScalingFactors(insert, sizes, 16)
 			if err != nil {
-				panic(err)
+				panic("experiments: scaling factors: " + err.Error())
 			}
 			b.FSFixed.SetAlphas(a)
 		}

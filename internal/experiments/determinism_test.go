@@ -1,0 +1,38 @@
+package experiments
+
+import (
+	"bytes"
+	"runtime"
+	"testing"
+)
+
+// TestParallelForDeterminism is the determinism contract's regression test:
+// a grid run sequentially (one worker) and concurrently (GOMAXPROCS workers)
+// must print byte-identical results. Any scheduling-order dependence — a
+// shared RNG, unsorted map iteration, racy accumulation — shows up as a
+// diff here, and as a race under `go test -race`.
+func TestParallelForDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("grid run too slow for -short")
+	}
+	scale := tiny()
+	benches := []string{"mcf"}
+
+	render := func(workers int) string {
+		parallelWorkers = workers
+		defer func() { parallelWorkers = 0 }()
+		var buf bytes.Buffer
+		Fig2bc(scale, benches).Print(&buf)
+		return buf.String()
+	}
+
+	seq := render(1)
+	par := render(runtime.GOMAXPROCS(0))
+	if seq != par {
+		t.Fatalf("parallelFor results depend on scheduling:\n--- 1 worker ---\n%s\n--- %d workers ---\n%s",
+			seq, runtime.GOMAXPROCS(0), par)
+	}
+	if len(seq) == 0 {
+		t.Fatal("Fig2bc printed nothing")
+	}
+}

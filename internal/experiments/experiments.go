@@ -364,7 +364,7 @@ func (g *freshLineGenerator) Next() trace.Access {
 func profileGenerator(scale Scale, bench string, seed uint64, thread int) trace.Generator {
 	p, err := workload.ByName(bench)
 	if err != nil {
-		panic(err)
+		panic("experiments: " + err.Error())
 	}
 	return p.Shrunk(scale.WorkloadShrink).NewGenerator(seed, thread)
 }
@@ -377,15 +377,23 @@ func mcfGenerator(scale Scale, seed uint64, thread int) trace.Generator {
 
 func fprintf(w io.Writer, format string, args ...interface{}) {
 	if _, err := fmt.Fprintf(w, format, args...); err != nil {
-		panic(err)
+		panic("experiments: write failed: " + err.Error())
 	}
 }
+
+// parallelWorkers, when positive, overrides the worker count used by
+// parallelFor. The determinism regression test pins it to 1 and compares
+// against the concurrent run; production code leaves it at 0.
+var parallelWorkers = 0
 
 // parallelFor runs fn(0..n-1) on up to GOMAXPROCS workers. Experiment cells
 // are independent and individually seeded, so results are identical to the
 // sequential order regardless of scheduling.
 func parallelFor(n int, fn func(i int)) {
 	workers := runtime.GOMAXPROCS(0)
+	if parallelWorkers > 0 {
+		workers = parallelWorkers
+	}
 	if workers > n {
 		workers = n
 	}

@@ -143,7 +143,7 @@ func max64(a, b uint64) uint64 {
 }
 
 func nonzero(x float64) float64 {
-	if x == 0 {
+	if stats.Feq(x, 0) {
 		return 1
 	}
 	return x

@@ -62,7 +62,7 @@ func runFig4Case(scale Scale, scheme SchemeName, insert, sizes []float64) []Fig4
 	if b.FSFixed != nil {
 		a, err := analytic.ScalingFactors(insert, sizes, 16)
 		if err != nil {
-			panic(err)
+			panic("experiments: scaling factors: " + err.Error())
 		}
 		alphas = a
 		b.FSFixed.SetAlphas(a)

@@ -61,7 +61,7 @@ func runFig5Case(scale Scale, scheme SchemeName, i1 float64) Fig5Row {
 	if b.FSFixed != nil {
 		a, err := analytic.ScalingFactors(insert, sizes, 16)
 		if err != nil {
-			panic(err)
+			panic("experiments: scaling factors: " + err.Error())
 		}
 		b.FSFixed.SetAlphas(a)
 		model := &analytic.SizingModel{

@@ -15,9 +15,9 @@ package futility
 // a self-calibrating estimate a real controller could implement with a few
 // counters.
 type CoarseTS struct {
-	ts      []uint8 // per-line timestamp tag
+	ts      []uint8 // per-line timestamp tag //fslint:wrap8
 	present []bool
-	current []uint8  // per-partition current timestamp
+	current []uint8  // per-partition current timestamp //fslint:wrap8
 	counter []uint64 // per-partition accesses since last tick
 	size    []int    // per-partition resident-line count
 
@@ -60,6 +60,15 @@ func NewCoarseTS(lines, parts int) *CoarseTS {
 
 // Name implements Ranker.
 func (c *CoarseTS) Name() string { return "coarse-lru" }
+
+// tsDist returns the unsigned mod-256 distance (cur − tag), the exact
+// 8-bit subtraction the hardware performs (§V-A). The timestamp clock
+// wraps by design, so ordinary <, > or − on timestamp tags is wrong once
+// the clock laps a stale line; every distance computation must go through
+// this helper (enforced by the fslint tswrap analyzer).
+//
+//fslint:wrapsafe
+func tsDist(cur, tag uint8) uint8 { return cur - tag }
 
 // tick advances the partition's access counter and, every K = size/16
 // accesses (minimum 1), its current timestamp.
@@ -122,7 +131,7 @@ func (c *CoarseTS) Raw(line, part int) uint64 {
 	if !c.present[line] {
 		panic("futility: Raw of untracked line")
 	}
-	d := uint64(uint8(c.current[part] - c.ts[line]))
+	d := uint64(tsDist(c.current[part], c.ts[line]))
 	c.observe(part, uint8(d))
 	return d
 }
@@ -133,7 +142,7 @@ func (c *CoarseTS) Futility(line, part int) float64 {
 	if !c.present[line] {
 		panic("futility: Futility of untracked line")
 	}
-	d := uint8(c.current[part] - c.ts[line])
+	d := tsDist(c.current[part], c.ts[line])
 	c.observe(part, d)
 	if c.dirty[part] >= histRebuild {
 		c.rebuild(part)
@@ -161,10 +170,10 @@ func (c *CoarseTS) observe(part int, d uint8) {
 
 func (c *CoarseTS) rebuild(part int) {
 	c.dirty[part] = 0
-	total := float64(c.total[part])
-	if total == 0 {
+	if c.total[part] == 0 {
 		return
 	}
+	total := float64(c.total[part])
 	var cum uint64
 	for d := 0; d < 256; d++ {
 		cum += uint64(c.hist[part][d])

@@ -10,9 +10,16 @@ import (
 )
 
 func TestKindString(t *testing.T) {
-	for k, want := range map[Kind]string{LRU: "lru", LFU: "lfu", OPT: "opt", CoarseLRU: "coarse-lru", Kind(99): "kind(99)"} {
-		if got := k.String(); got != want {
-			t.Errorf("Kind(%d).String() = %q, want %q", int(k), got, want)
+	cases := []struct {
+		k    Kind
+		want string
+	}{
+		{LRU, "lru"}, {LFU, "lfu"}, {OPT, "opt"},
+		{CoarseLRU, "coarse-lru"}, {Kind(99), "kind(99)"},
+	}
+	for _, c := range cases {
+		if got := c.k.String(); got != c.want {
+			t.Errorf("Kind(%d).String() = %q, want %q", int(c.k), got, c.want)
 		}
 	}
 }

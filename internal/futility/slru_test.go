@@ -134,8 +134,12 @@ func TestSLRURandomizedInvariants(t *testing.T) {
 			t.Fatalf("protected exceeds size")
 		}
 		seen := map[int]bool{}
-		for line, lp := range resident {
-			if lp != p {
+		// Visit lines in index order, not map order: Futility reads are
+		// stateless for SLRU today, but the determinism contract keeps
+		// loops like this reproducible regardless.
+		for line := 0; line < lines; line++ {
+			lp, ok := resident[line]
+			if !ok || lp != p {
 				continue
 			}
 			f := s.Futility(line, p)

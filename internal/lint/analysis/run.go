@@ -1,0 +1,134 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"regexp"
+	"sort"
+)
+
+// Finding is a resolved diagnostic: analyzer name plus concrete position.
+type Finding struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s (%s)", f.Pos.Filename, f.Pos.Line, f.Pos.Column, f.Message, f.Analyzer)
+}
+
+// Run applies each analyzer to each unit, drops findings suppressed by
+// //fslint:ignore comments and returns the rest sorted by position.
+func Run(units []*Unit, analyzers []*Analyzer) ([]Finding, error) {
+	var findings []Finding
+	for _, u := range units {
+		supp := suppressions(u)
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer:   a,
+				Fset:       u.Fset,
+				Files:      u.Files,
+				OtherFiles: u.OtherFiles,
+				PkgPath:    u.PkgPath,
+				Pkg:        u.Pkg,
+				TypesInfo:  u.Info,
+			}
+			name := a.Name
+			pass.Report = func(d Diagnostic) {
+				pos := u.Fset.Position(d.Pos)
+				if supp.covers(name, pos) {
+					return
+				}
+				findings = append(findings, Finding{Analyzer: name, Pos: pos, Message: d.Message})
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s: %s: %v", a.Name, u.PkgPath, err)
+			}
+		}
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return findings, nil
+}
+
+// ignoreRE matches suppression comments: //fslint:ignore name[,name...] reason
+var ignoreRE = regexp.MustCompile(`fslint:ignore\s+([A-Za-z0-9_,]+)`)
+
+// suppressionSet records, per file and line, the analyzer names suppressed
+// there. A comment suppresses its own line and the line directly below it,
+// so both trailing comments and comments above the offending statement work.
+type suppressionSet map[string]map[int]map[string]bool
+
+func suppressions(u *Unit) suppressionSet {
+	set := suppressionSet{}
+	for _, f := range u.AllASTs() {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := ignoreRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := u.Fset.Position(c.Pos())
+				byLine := set[pos.Filename]
+				if byLine == nil {
+					byLine = map[int]map[string]bool{}
+					set[pos.Filename] = byLine
+				}
+				for _, line := range []int{pos.Line, pos.Line + 1} {
+					names := byLine[line]
+					if names == nil {
+						names = map[string]bool{}
+						byLine[line] = names
+					}
+					for _, name := range splitComma(m[1]) {
+						names[name] = true
+					}
+				}
+			}
+		}
+	}
+	return set
+}
+
+func (s suppressionSet) covers(analyzer string, pos token.Position) bool {
+	return s[pos.Filename][pos.Line][analyzer]
+}
+
+func splitComma(s string) []string {
+	var out []string
+	for len(s) > 0 {
+		i := 0
+		for i < len(s) && s[i] != ',' {
+			i++
+		}
+		if i > 0 {
+			out = append(out, s[:i])
+		}
+		if i == len(s) {
+			break
+		}
+		s = s[i+1:]
+	}
+	return out
+}
+
+// AllASTs returns the unit's reportable and supporting files together.
+func (u *Unit) AllASTs() []*ast.File {
+	all := make([]*ast.File, 0, len(u.Files)+len(u.OtherFiles))
+	all = append(all, u.Files...)
+	all = append(all, u.OtherFiles...)
+	return all
+}

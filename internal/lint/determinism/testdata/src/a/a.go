@@ -1,0 +1,85 @@
+// Package a exercises the determinism analyzer (scoped to package "a" by
+// the test): banned imports, wall-clock reads and map-range bodies.
+package a
+
+import (
+	"math/rand" // want `non-deterministic import "math/rand"`
+	"sort"
+	"time"
+)
+
+func wallClock() int64 {
+	t0 := time.Now()   // want `call to time.Now`
+	_ = time.Since(t0) // want `call to time.Since`
+	return rand.Int63()
+}
+
+func helper(string) {}
+
+func orderInsensitive(m map[string]int) []string {
+	total := 0
+	for _, v := range m { // clean: commutative integer accumulation
+		total += v
+	}
+
+	doubled := map[string]int{}
+	for k, v := range m { // clean: writes keyed by the range key
+		doubled[k] = 2 * v
+	}
+
+	var keys []string
+	for k := range m { // clean: append followed by sort
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+
+	for k := range m { // clean: per-key delete
+		if len(k) > 8 {
+			delete(m, k)
+		}
+	}
+
+	for k, v := range m { // clean: loop-local work only
+		kv := k
+		n := v + len(kv)
+		_ = n
+	}
+	return keys
+}
+
+func orderSensitive(m map[string]int) float64 {
+	var unsorted []string
+	for k := range m { // want `appends to unsorted without sorting`
+		unsorted = append(unsorted, k)
+	}
+	_ = unsorted
+
+	sum := 0.0
+	for _, v := range m { // want `floating-point accumulation into sum`
+		sum += float64(v)
+	}
+
+	for k := range m { // want `calls helper`
+		helper(k)
+	}
+
+	last := ""
+	for k := range m { // want `assigns to last`
+		last = k
+	}
+	_ = last
+	return sum
+}
+
+func earlyReturn(m map[int]bool) int {
+	for k := range m { // want `returns from inside the loop`
+		return k
+	}
+	return -1
+}
+
+func suppressed(m map[string]int) {
+	for k := range m { //fslint:ignore determinism helper is read-only here
+		helper(k)
+	}
+}

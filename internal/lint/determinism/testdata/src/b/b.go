@@ -1,0 +1,16 @@
+// Package b is NOT a simulation package: the determinism contract does not
+// apply, so nothing here is flagged.
+package b
+
+import (
+	"math/rand"
+	"time"
+)
+
+func free(m map[string]int) int64 {
+	for k := range m {
+		println(k) // clean: not a simulation package
+	}
+	_ = time.Now()
+	return rand.Int63()
+}

@@ -1,0 +1,58 @@
+// Package floateq implements the fslint analyzer that forbids exact
+// equality comparisons between floating-point expressions.
+//
+// The simulator compares futility ranks, miss ratios and scaled α·f values
+// all over the place; an accidental `a == b` on float64 is almost always a
+// latent bug (it silently depends on the exact sequence of roundings) and
+// can break cross-validation between exact and approximate rankers. Code
+// that needs approximate equality should call stats.Feq / stats.FeqEps;
+// code that genuinely wants bit equality (IEEE sentinels) can suppress a
+// finding with //fslint:ignore floateq <reason>.
+package floateq
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"fscache/internal/lint/analysis"
+)
+
+// Analyzer flags ==/!= between floating-point expressions outside _test.go.
+var Analyzer = &analysis.Analyzer{
+	Name: "floateq",
+	Doc: "forbid ==/!= between floating-point expressions in non-test code; " +
+		"use an epsilon/ULP helper (stats.Feq, stats.FeqEps) instead",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		name := pass.Fset.Position(f.Pos()).Filename
+		if strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+				return true
+			}
+			if isFloat(pass.TypesInfo.TypeOf(be.X)) || isFloat(pass.TypesInfo.TypeOf(be.Y)) {
+				pass.Reportf(be.OpPos,
+					"floating-point %s comparison; use stats.Feq/stats.FeqEps or restructure to compare the underlying integers",
+					be.Op)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func isFloat(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}

@@ -1,0 +1,12 @@
+package floateq_test
+
+import (
+	"testing"
+
+	"fscache/internal/lint/analysis/analysistest"
+	"fscache/internal/lint/floateq"
+)
+
+func Test(t *testing.T) {
+	analysistest.Run(t, "testdata", floateq.Analyzer, "a")
+}

@@ -1,0 +1,7 @@
+package a
+
+// Test files are exempt: exact comparison against golden values is fine
+// when the test controls both operands.
+func testOnly(x, y float64) bool {
+	return x == y // clean: _test.go files are not checked
+}

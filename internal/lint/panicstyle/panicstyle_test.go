@@ -1,0 +1,12 @@
+package panicstyle_test
+
+import (
+	"testing"
+
+	"fscache/internal/lint/analysis/analysistest"
+	"fscache/internal/lint/panicstyle"
+)
+
+func Test(t *testing.T) {
+	analysistest.Run(t, "testdata", panicstyle.Analyzer, "a", "b")
+}

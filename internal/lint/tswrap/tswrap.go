@@ -1,0 +1,140 @@
+// Package tswrap implements the fslint analyzer that protects 8-bit
+// wrapping timestamps from raw arithmetic.
+//
+// The coarse-grain timestamp LRU of §V keeps per-partition uint8 clocks
+// that wrap mod 256 by design: the futility of a line is the unsigned
+// modular distance (current − tag) mod 256, which hardware computes with a
+// plain 8-bit subtract. In Go, writing `current < tag` or `current - tag`
+// on such fields "works" until the clock wraps, then silently inverts the
+// ordering — exactly the bug class the modular-distance helper exists to
+// prevent.
+//
+// Fields holding wrapping timestamps are marked with a //fslint:wrap8
+// directive in their declaration comment. The analyzer flags any -, <, >,
+// <= or >= whose operands read a marked field, except inside functions
+// whose doc comment carries //fslint:wrapsafe — the designated helpers
+// (futility.tsDist) that implement the modular arithmetic once.
+package tswrap
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"fscache/internal/lint/analysis"
+)
+
+// Analyzer flags raw ordering/difference arithmetic on marked wrap-around
+// timestamp fields.
+var Analyzer = &analysis.Analyzer{
+	Name: "tswrap",
+	Doc: "forbid raw -, <, >, <=, >= on //fslint:wrap8 timestamp fields; " +
+		"mod-256 distance must go through the //fslint:wrapsafe helper",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	marked := markedFields(pass)
+	if len(marked) == 0 {
+		return nil
+	}
+	for _, f := range pass.Files {
+		var safe []*ast.FuncDecl
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && hasDirective(fd.Doc, "fslint:wrapsafe") {
+				safe = append(safe, fd)
+			}
+		}
+		inSafe := func(pos token.Pos) bool {
+			for _, fd := range safe {
+				if fd.Pos() <= pos && pos <= fd.End() {
+					return true
+				}
+			}
+			return false
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok {
+				return true
+			}
+			switch be.Op {
+			case token.SUB, token.LSS, token.GTR, token.LEQ, token.GEQ:
+			default:
+				return true
+			}
+			if inSafe(be.Pos()) {
+				return true
+			}
+			if touchesMarked(pass, marked, be.X) || touchesMarked(pass, marked, be.Y) {
+				pass.Reportf(be.OpPos,
+					"raw %s on 8-bit wrapping timestamp field; use the //fslint:wrapsafe modular-distance helper", be.Op)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// markedFields collects the objects of struct fields whose declaration
+// carries a //fslint:wrap8 directive, searching the whole unit so that
+// test files see markers from library files.
+func markedFields(pass *analysis.Pass) map[types.Object]bool {
+	marked := map[types.Object]bool{}
+	for _, f := range pass.AllFiles() {
+		ast.Inspect(f, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			for _, field := range st.Fields.List {
+				if !hasWrapDirective(field) {
+					continue
+				}
+				for _, name := range field.Names {
+					if obj := pass.TypesInfo.Defs[name]; obj != nil {
+						marked[obj] = true
+					}
+				}
+			}
+			return true
+		})
+	}
+	return marked
+}
+
+func hasWrapDirective(field *ast.Field) bool {
+	return hasDirective(field.Doc, "fslint:wrap8") || hasDirective(field.Comment, "fslint:wrap8")
+}
+
+// hasDirective scans the raw comment list: CommentGroup.Text strips
+// `//tool:directive` comments, so it cannot be used here.
+func hasDirective(cg *ast.CommentGroup, directive string) bool {
+	if cg == nil {
+		return false
+	}
+	for _, c := range cg.List {
+		if strings.Contains(c.Text, directive) {
+			return true
+		}
+	}
+	return false
+}
+
+// touchesMarked reports whether e reads a marked field anywhere inside it
+// (directly, or through an index expression like c.ts[line]).
+func touchesMarked(pass *analysis.Pass, marked map[types.Object]bool, e ast.Expr) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if sel, ok := n.(*ast.SelectorExpr); ok && marked[pass.TypesInfo.Uses[sel.Sel]] {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}

@@ -1,0 +1,12 @@
+package tswrap_test
+
+import (
+	"testing"
+
+	"fscache/internal/lint/analysis/analysistest"
+	"fscache/internal/lint/tswrap"
+)
+
+func Test(t *testing.T) {
+	analysistest.Run(t, "testdata", tswrap.Analyzer, "a")
+}

@@ -301,7 +301,7 @@ func AsciiCDF(label string, xs, ys []float64, width, height int) string {
 		return label + ": (no data)\n"
 	}
 	xmin, xmax := xs[0], xs[len(xs)-1]
-	if xmax == xmin {
+	if Feq(xmax, xmin) {
 		xmax = xmin + 1
 	}
 	grid := make([][]byte, height)

@@ -158,7 +158,7 @@ const maxZipfTable = 1 << 16
 // address spaces — the multiprogrammed SPEC setting has no sharing.
 func (p Profile) NewGenerator(seed uint64, thread int) trace.Generator {
 	if err := p.Validate(); err != nil {
-		panic(err)
+		panic("workload: invalid profile: " + err.Error())
 	}
 	rng := xrand.New(xrand.Mix64(seed ^ uint64(thread)*0x9e37))
 	g := &generator{
