@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test race lint check fmt
+.PHONY: build test race lint check fmt fuzz smoke
 
 build:
 	$(GO) build ./...
@@ -21,5 +21,13 @@ lint:
 
 fmt:
 	gofmt -w .
+
+# Short fuzz session over the trace decoder (seed corpus + 10s of mutation).
+fuzz:
+	$(GO) test -run='^$$' -fuzz=FuzzReadFrom -fuzztime=10s ./internal/trace
+
+# End-to-end smoke: the full quick-scale sweep must exit 0.
+smoke:
+	$(GO) run ./cmd/fstables -scale quick
 
 check: build lint test race

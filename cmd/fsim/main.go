@@ -35,6 +35,7 @@ func main() {
 		accesses = flag.Int("accesses", 100000, "L2 accesses per thread")
 		l1lines  = flag.Int("l1", 512, "private L1 size in lines (4-way)")
 		seed     = flag.Uint64("seed", 1, "simulation seed")
+		maxsteps = flag.Uint64("maxsteps", 0, "deterministic watchdog: panic after this many simulated accesses (0 = off)")
 	)
 	flag.Parse()
 
@@ -79,7 +80,9 @@ func main() {
 	}, experiments.FSFeedbackParams{})
 	b.SetTargets(tg)
 
-	results := sim.NewMulticore(b.Cache, sim.DefaultTiming(), traces).Run()
+	mc := sim.NewMulticore(b.Cache, sim.DefaultTiming(), traces)
+	mc.SetStepLimit(*maxsteps)
+	results := mc.Run()
 
 	fmt.Printf("scheme=%s array=%s rank=%s lines=%d (%d KB) threads=%d seed=%d\n\n",
 		*scheme, *array, rk, *lines, *lines*64/1024, parts, *seed)

@@ -1,12 +1,20 @@
 // Command fstables regenerates every table and figure of the paper's
 // evaluation (DESIGN.md §3 lists the experiment index).
 //
+// Experiments run under internal/harness: a panicking or hung experiment is
+// reported (with its stack) and the sweep continues, per-experiment
+// deadlines come from -timeout, and -resume skips experiments a previous
+// invocation already completed (recorded in the -journal file, keyed by
+// scale and seed). The exit status is nonzero if any experiment failed.
+//
 // Usage:
 //
-//	fstables                 # run everything at quick scale
-//	fstables -scale full     # paper-fidelity configuration (slow)
-//	fstables -fig fig7       # one experiment
-//	fstables -list           # show available experiment ids
+//	fstables                       # run everything at quick scale
+//	fstables -scale full           # paper-fidelity configuration (slow)
+//	fstables -fig fig7             # one experiment
+//	fstables -list                 # show available experiment ids
+//	fstables -timeout 30m          # per-experiment wall-clock deadline
+//	fstables -scale full -resume   # continue an interrupted sweep
 package main
 
 import (
@@ -19,16 +27,22 @@ import (
 	"time"
 
 	"fscache/internal/experiments"
+	"fscache/internal/harness"
 )
 
 func main() {
 	var (
-		fig    = flag.String("fig", "all", "experiment id to run, or 'all'")
-		scale  = flag.String("scale", "quick", "scale: quick or full")
-		seed   = flag.Uint64("seed", 0, "override the experiment seed (0 keeps the default)")
-		list   = flag.Bool("list", false, "list experiment ids and exit")
-		plots  = flag.Bool("plots", false, "also render ASCII CDF plots where available")
-		asJSON = flag.Bool("json", false, "emit results as JSON instead of tables")
+		fig     = flag.String("fig", "all", "experiment id to run, or 'all'")
+		scale   = flag.String("scale", "quick", "scale: quick or full")
+		seed    = flag.Uint64("seed", 0, "override the experiment seed (0 keeps the default)")
+		list    = flag.Bool("list", false, "list experiment ids and exit")
+		plots   = flag.Bool("plots", false, "also render ASCII CDF plots where available")
+		asJSON  = flag.Bool("json", false, "emit results as JSON instead of tables")
+		timeout = flag.Duration("timeout", 0, "per-experiment wall-clock deadline (0 = none)")
+		retries = flag.Int("retries", 0, "retry count for failures marked retryable")
+		resume  = flag.Bool("resume", false, "skip experiments completed by a previous run (see -journal)")
+		journal = flag.String("journal", "fstables.journal", "completion journal used by -resume")
+		panicID = flag.String("panic", "", "make the named experiment panic (harness self-test)")
 	)
 	flag.Parse()
 
@@ -63,27 +77,77 @@ func main() {
 		runners = []experiments.Runner{r}
 	}
 
+	opts := harness.Options{Timeout: *timeout, Retries: *retries}
+	if *resume {
+		scope := fmt.Sprintf("scale=%s seed=%d", sc.Name, sc.Seed)
+		j, err := harness.OpenJournal(*journal, scope)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "fstables:", err)
+			os.Exit(1)
+		}
+		defer j.Close()
+		opts.Journal = j
+	}
+
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
+	desc := map[string]string{}
+	tasks := make([]harness.Task, 0, len(runners))
 	for _, r := range runners {
-		start := time.Now()
-		res := r.Run(sc)
-		if *asJSON {
-			if err := enc.Encode(map[string]interface{}{
-				"id": r.ID, "desc": r.Desc, "result": res,
-			}); err != nil {
-				fmt.Fprintln(os.Stderr, "fstables:", err)
-				os.Exit(1)
+		r := r
+		desc[r.ID] = r.Desc
+		run := func() (interface{}, error) {
+			if !*asJSON {
+				fmt.Printf("==== %s — %s\n", r.ID, r.Desc)
 			}
-			continue
+			return r.Run(sc), nil
 		}
-		fmt.Printf("==== %s — %s\n", r.ID, r.Desc)
-		res.Print(os.Stdout)
-		if *plots {
-			if p, ok := res.(interface{ PrintPlots(w io.Writer) }); ok {
-				p.PrintPlots(os.Stdout)
+		if r.ID == *panicID {
+			run = func() (interface{}, error) {
+				if !*asJSON {
+					fmt.Printf("==== %s — %s\n", r.ID, r.Desc)
+				}
+				panic("fstables: deliberate panic requested via -panic")
 			}
 		}
-		fmt.Printf("---- %s done in %v\n\n", r.ID, time.Since(start).Round(time.Millisecond))
+		tasks = append(tasks, harness.Task{ID: r.ID, Run: run})
+	}
+
+	opts.Report = func(res harness.Result) {
+		switch {
+		case res.Resumed:
+			if *asJSON {
+				return
+			}
+			fmt.Printf("==== %s — %s\n     already completed (journal); skipping\n\n", res.ID, desc[res.ID])
+		case res.Err != nil:
+			if !*asJSON {
+				fmt.Printf("---- %s FAILED after %v\n\n", res.ID, res.Elapsed.Round(time.Millisecond))
+			}
+		default:
+			p := res.Value.(experiments.Printable)
+			if *asJSON {
+				if err := enc.Encode(map[string]interface{}{
+					"id": res.ID, "desc": desc[res.ID], "result": p,
+				}); err != nil {
+					fmt.Fprintln(os.Stderr, "fstables:", err)
+					os.Exit(1)
+				}
+				return
+			}
+			p.Print(os.Stdout)
+			if *plots {
+				if pp, ok := p.(interface{ PrintPlots(w io.Writer) }); ok {
+					pp.PrintPlots(os.Stdout)
+				}
+			}
+			fmt.Printf("---- %s done in %v\n\n", res.ID, res.Elapsed.Round(time.Millisecond))
+		}
+	}
+
+	summary := harness.RunAll(tasks, opts)
+	if !summary.OK() {
+		summary.PrintFailures(os.Stderr)
+		os.Exit(1)
 	}
 }

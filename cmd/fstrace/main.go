@@ -56,6 +56,7 @@ func gen(args []string) {
 		seed    = fs.Uint64("seed", 1, "generator seed")
 		thread  = fs.Int("thread", 0, "thread id (address-space selector)")
 		out     = fs.String("o", "", "output file (required)")
+		legacy  = fs.Bool("legacy", false, "write the FST1 format (no CRC footer)")
 	)
 	if err := fs.Parse(args); err != nil {
 		os.Exit(2)
@@ -82,7 +83,11 @@ func gen(args []string) {
 		os.Exit(1)
 	}
 	defer f.Close()
-	if _, err := tr.WriteTo(f); err != nil {
+	write := tr.WriteTo
+	if *legacy {
+		write = tr.WriteLegacyTo
+	}
+	if _, err := write(f); err != nil {
 		fmt.Fprintln(os.Stderr, "fstrace:", err)
 		os.Exit(1)
 	}
@@ -100,7 +105,8 @@ func info(args []string) {
 	}
 	defer f.Close()
 	var tr trace.Trace
-	if _, err := tr.ReadFrom(f); err != nil {
+	_, version, err := tr.DecodeFrom(f)
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "fstrace:", err)
 		os.Exit(1)
 	}
@@ -119,6 +125,11 @@ func info(args []string) {
 		}
 	}
 	n := tr.Len()
+	checksum := "CRC-32 verified"
+	if version == 1 {
+		checksum = "no checksum"
+	}
+	fmt.Printf("format:        FST%d (%s)\n", version, checksum)
 	fmt.Printf("accesses:      %d\n", n)
 	fmt.Printf("instructions:  %d\n", tr.Instructions())
 	fmt.Printf("footprint:     %d lines (%d KB)\n", len(seen), len(seen)*64/1024)

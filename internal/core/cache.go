@@ -88,13 +88,14 @@ type Cache struct {
 	accesses uint64
 	pstats   []PartStats
 
-	candBuf  []Candidate
-	worstBuf []Candidate
-	freer    cachearray.Freer
-	allCands bool
-	fullSel  FullSelector
-	worst    futility.WorstTracker
-	refWorst futility.WorstTracker
+	candBuf    []Candidate
+	worstBuf   []Candidate
+	candFilter CandidateFilter
+	freer      cachearray.Freer
+	allCands   bool
+	fullSel    FullSelector
+	worst      futility.WorstTracker
+	refWorst   futility.WorstTracker
 }
 
 // New builds a controller from cfg. It panics on inconsistent configuration
@@ -200,6 +201,18 @@ func (c *Cache) ResetStats() {
 	}
 	c.accesses = 0
 }
+
+// CandidateFilter reshapes the candidate list a scheme sees on the
+// set-associative eviction path, e.g. truncating it to model a partially
+// failed victim-selection tree (internal/faultinject). The returned slice
+// must be non-empty and may alias the input; it is consumed before the next
+// access. The fully-associative fast path is not filtered — its candidates
+// are a scheme invariant (one per non-empty partition), not an array
+// artifact.
+type CandidateFilter func(cands []Candidate) []Candidate
+
+// SetCandidateFilter installs f (nil removes any installed filter).
+func (c *Cache) SetCandidateFilter(f CandidateFilter) { c.candFilter = f }
 
 // AccessResult reports what one access did.
 type AccessResult struct {
@@ -338,20 +351,27 @@ func (c *Cache) choose(cands []int, insertPart int) int {
 			Raw:      c.ranker.Raw(l, p),
 		})
 	}
-	d := c.scheme.Decide(c.candBuf, insertPart)
-	if d.Victim < 0 || d.Victim >= len(c.candBuf) {
+	pool := c.candBuf
+	if c.candFilter != nil {
+		pool = c.candFilter(pool)
+		if len(pool) == 0 {
+			panic("core: candidate filter returned no candidates")
+		}
+	}
+	d := c.scheme.Decide(pool, insertPart)
+	if d.Victim < 0 || d.Victim >= len(pool) {
 		panic("core: scheme returned victim out of range")
 	}
 	for _, di := range d.Demote {
 		if di == d.Victim {
 			panic("core: scheme demoted the victim")
 		}
-		c.demote(c.candBuf[di].Line, d.DemoteTo)
+		c.demote(pool[di].Line, d.DemoteTo)
 	}
 	if d.Forced {
-		c.pstats[c.lineOwner[c.candBuf[d.Victim].Line]].ForcedEvict++
+		c.pstats[c.lineOwner[pool[d.Victim].Line]].ForcedEvict++
 	}
-	return c.candBuf[d.Victim].Line
+	return pool[d.Victim].Line
 }
 
 // chooseFull is the fully-associative fast path: one candidate per

@@ -214,6 +214,34 @@ func (f *FSFeedback) OnEviction(part int) {
 	}
 }
 
+// ForceAlpha overrides partition part's scaling factor, clamped to the
+// controller's legal range [1, AlphaMax], and restarts the partition's
+// interval so the controller re-evaluates from the forced state. It exists
+// for fault injection (internal/faultinject) and §V robustness tests:
+// Algorithm 2 is claimed to be self-correcting, so after any forced α the
+// partition sizes must re-converge to their targets within a few intervals.
+func (f *FSFeedback) ForceAlpha(part int, alpha float64) {
+	if part < 0 || part >= len(f.alphas) {
+		panic("core: ForceAlpha partition out of range")
+	}
+	if alpha < 1 {
+		alpha = 1
+	}
+	if alpha > f.cfg.AlphaMax {
+		alpha = f.cfg.AlphaMax
+	}
+	f.alphas[part] = alpha
+	f.ins[part] = 0
+	f.evs[part] = 0
+}
+
+// AlphaMax returns the controller's scaling-factor cap (the saturation
+// value of the hardware's 3-bit scaling shift width).
+func (f *FSFeedback) AlphaMax() float64 { return f.cfg.AlphaMax }
+
+// Interval returns the controller's interval length l.
+func (f *FSFeedback) Interval() int { return f.cfg.Interval }
+
 // adjust is Algorithm 2: scale up when the partition is oversized and still
 // growing, scale down when undersized and still shrinking; checking the
 // growth tendency avoids over-scaling during resizing transients.

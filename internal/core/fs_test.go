@@ -66,3 +66,70 @@ func TestFSFeedbackAlphaBounds(t *testing.T) {
 		t.Fatalf("alpha = %v, want floored at 1", a)
 	}
 }
+
+func TestForceAlphaClampsAndResetsInterval(t *testing.T) {
+	fs := NewFSFeedback(2, FSFeedbackConfig{Interval: 4, Delta: 2, AlphaMax: 16})
+	fs.Bind([]int{10, 10})
+	fs.SetTargets([]int{10, 10})
+	if got := fs.AlphaMax(); got != 16 {
+		t.Fatalf("AlphaMax = %v, want 16", got)
+	}
+	if got := fs.Interval(); got != 4 {
+		t.Fatalf("Interval = %v, want 4", got)
+	}
+	fs.ForceAlpha(0, 1000)
+	if a := fs.Alphas()[0]; a != 16 {
+		t.Fatalf("forced alpha = %v, want clamped to 16", a)
+	}
+	fs.ForceAlpha(0, 0.01)
+	if a := fs.Alphas()[0]; a != 1 {
+		t.Fatalf("forced alpha = %v, want clamped to 1", a)
+	}
+	fs.ForceAlpha(1, 4)
+	if a := fs.Alphas()[1]; a != 4 {
+		t.Fatalf("forced alpha = %v, want 4", a)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("ForceAlpha out of range did not panic")
+		}
+	}()
+	fs.ForceAlpha(2, 1)
+}
+
+// The §V self-correction claim at unit scale: converge, force both scaling
+// factors to adversarial extremes, and check the controller pulls the
+// partition sizes back to their targets.
+func TestFSFeedbackRecoversFromForcedAlpha(t *testing.T) {
+	const lines = 2048
+	fs := NewFSFeedback(2, FSFeedbackConfig{})
+	c := New(Config{
+		Array:  cachearray.NewRandom(lines, 16, 7),
+		Ranker: futility.NewCoarseTS(lines, 2),
+		Scheme: fs,
+		Parts:  2,
+	})
+	targets := []int{1434, 614} // 0.7/0.3 under 0.5/0.5 insertion pressure
+	c.SetTargets(targets)
+	d := newStreamDriver(11, []float64{0.5, 0.5})
+	for i := 0; i < 20*lines; i++ {
+		d.step(c)
+	}
+	check := func(when string) {
+		for p, tgt := range targets {
+			if got := c.Sizes()[p]; math.Abs(float64(got-tgt)) > 0.08*float64(tgt) {
+				t.Fatalf("%s: partition %d size %d, want ≈%d (α=%v)",
+					when, p, got, tgt, fs.Alphas())
+			}
+		}
+	}
+	check("before fault")
+	// Adversarial extremes: over-evict the big partition, let the small
+	// one balloon.
+	fs.ForceAlpha(0, fs.AlphaMax())
+	fs.ForceAlpha(1, 1)
+	for i := 0; i < 20*lines; i++ {
+		d.step(c)
+	}
+	check("after forced-alpha recovery")
+}

@@ -150,6 +150,12 @@ type Built struct {
 	PriSM *baselines.PriSM
 	// Vantage is non-nil for SchemeVantage.
 	Vantage *baselines.Vantage
+	// Ranker is the decision ranker backing the cache.
+	Ranker futility.Ranker
+	// Coarse is the ranker downcast to its coarse-timestamp implementation
+	// when the spec asked for CoarseLRU; fault-injection experiments use it
+	// to reach the timestamp tags.
+	Coarse *futility.CoarseTS
 }
 
 // SetTargets installs targets for the application partitions, padding
@@ -248,6 +254,10 @@ func Build(spec CacheSpec, fsParams FSFeedbackParams) *Built {
 	}
 
 	ranker := futility.New(rank, spec.Lines, b.TotalParts, xrand.Mix64(spec.Seed^0x7a17))
+	b.Ranker = ranker
+	if c, ok := ranker.(*futility.CoarseTS); ok {
+		b.Coarse = c
+	}
 	var ref futility.Ranker
 	if rk := futility.Reference(rank); rk != rank {
 		ref = futility.New(rk, spec.Lines, b.TotalParts, xrand.Mix64(spec.Seed^0x4ef))

@@ -26,7 +26,8 @@ func tiny() Scale {
 
 func TestRegistryComplete(t *testing.T) {
 	want := []string{"table2", "fig2a", "fig2bc", "fig3", "fig4", "fig5",
-		"fig6", "fig7", "sens-l", "sens-delta", "abl-fs", "abl-r", "abl-way", "resize", "util"}
+		"fig6", "fig7", "sens-l", "sens-delta", "abl-fs", "abl-r", "abl-way", "abl-fault",
+		"resize", "util"}
 	reg := Registry()
 	if len(reg) != len(want) {
 		t.Fatalf("registry has %d entries, want %d", len(reg), len(want))

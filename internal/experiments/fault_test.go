@@ -1,0 +1,59 @@
+package experiments
+
+import (
+	"bytes"
+	"runtime"
+	"testing"
+
+	"fscache/internal/faultinject"
+)
+
+// The A4 acceptance criteria in one test: every fault class re-converges
+// within ε, and two same-seed runs (one sequential, one parallel) print
+// byte-identical tables.
+func TestAblationFaultRecoversDeterministically(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fault sweep too slow for -short")
+	}
+	scale := tiny()
+
+	render := func(workers int) (AblationFaultResult, string) {
+		parallelWorkers = workers
+		defer func() { parallelWorkers = 0 }()
+		res := AblationFault(scale)
+		var buf bytes.Buffer
+		res.Print(&buf)
+		return res, buf.String()
+	}
+
+	res, seq := render(1)
+	if len(res.Rows) != len(faultinject.Classes()) {
+		t.Fatalf("A4 produced %d rows, want one per class (%d)", len(res.Rows), len(faultinject.Classes()))
+	}
+	for _, row := range res.Rows {
+		if !row.Recovered {
+			t.Errorf("%s: controller did not re-converge (maxDev %.3f, finalErr %.3f)",
+				row.Class, row.MaxDev, row.FinalErr)
+		}
+		if row.FinalErr > FaultEps {
+			t.Errorf("%s: final occupancy error %.3f exceeds ε=%.2f", row.Class, row.FinalErr, FaultEps)
+		}
+		if row.MaxDev < 0 {
+			t.Errorf("%s: negative max deviation %.3f", row.Class, row.MaxDev)
+		}
+	}
+	// The forced-alpha classes must visibly disturb the system — otherwise
+	// the injection is a no-op and "recovery" proves nothing.
+	for _, row := range res.Rows {
+		if (row.Class == faultinject.ClassAlphaMax || row.Class == faultinject.ClassAlphaMin) &&
+			row.MaxDev <= FaultEps {
+			t.Errorf("%s: max deviation %.3f never left the ε band; injection had no effect",
+				row.Class, row.MaxDev)
+		}
+	}
+
+	_, par := render(runtime.GOMAXPROCS(0))
+	if seq != par {
+		t.Fatalf("A4 results depend on scheduling:\n--- 1 worker ---\n%s\n--- parallel ---\n%s", seq, par)
+	}
+}

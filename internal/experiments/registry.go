@@ -39,6 +39,7 @@ func Registry() []Runner {
 		{"abl-fs", "A1: analytic FS vs feedback FS", func(s Scale) Printable { return AblationFS(s) }},
 		{"abl-r", "A2: AEF vs candidate count R", func(s Scale) Printable { return AblationR(s) }},
 		{"abl-way", "A3: placement (way-partitioning) vs replacement (FS)", func(s Scale) Printable { return AblationWay(s) }},
+		{"abl-fault", "A4: fault injection — feedback FS re-convergence per fault class", func(s Scale) Printable { return AblationFault(s) }},
 		{"resize", "§II property 1: smooth resizing after a target flip", func(s Scale) Printable { return Resize(s) }},
 		{"util", "§II-A stack: UMON utility allocation over FS enforcement", func(s Scale) Printable { return Util(s) }},
 	}

@@ -184,3 +184,30 @@ func (c *CoarseTS) rebuild(part int) {
 // CurrentTS exposes the partition's current timestamp (for tests and
 // debugging displays).
 func (c *CoarseTS) CurrentTS(part int) uint8 { return c.current[part] }
+
+// Lines returns the number of line slots the ranker tracks.
+func (c *CoarseTS) Lines() int { return len(c.ts) }
+
+// Resident reports whether the line currently holds ranker state.
+func (c *CoarseTS) Resident(line int) bool { return c.present[line] }
+
+// FlipTimestampBit flips bit (0..7) of the line's timestamp tag. It exists
+// for fault injection (internal/faultinject): a flipped high bit makes a
+// fresh line look up to 128 ticks stale or a stale line look fresh, exactly
+// the soft-error class §V's feedback controller must absorb. Non-resident
+// lines are left untouched; the return value reports whether a flip
+// happened. XOR is wrap-safe: the tag stays a valid mod-256 timestamp and
+// all distance computation still goes through tsDist.
+func (c *CoarseTS) FlipTimestampBit(line int, bit uint) bool {
+	if line < 0 || line >= len(c.present) {
+		panic("futility: FlipTimestampBit line out of range")
+	}
+	if bit > 7 {
+		panic("futility: FlipTimestampBit bit out of range")
+	}
+	if !c.present[line] {
+		return false
+	}
+	c.ts[line] ^= 1 << bit
+	return true
+}

@@ -345,3 +345,49 @@ func BenchmarkCoarseTSHit(b *testing.B) {
 		r.OnHit(rng.Intn(1<<14), 0, Context{})
 	}
 }
+
+func TestCoarseTSFlipTimestampBit(t *testing.T) {
+	c := NewCoarseTS(64, 1)
+	if c.Lines() != 64 {
+		t.Fatalf("Lines = %d, want 64", c.Lines())
+	}
+	c.OnInsert(0, 0, Context{})
+	if !c.Resident(0) || c.Resident(1) {
+		t.Fatal("residency tracking wrong")
+	}
+	c.OnHit(0, 0, Context{}) // tag = current
+	before := c.Raw(0, 0)
+	if !c.FlipTimestampBit(0, 7) {
+		t.Fatal("flip of resident line reported false")
+	}
+	after := c.Raw(0, 0)
+	if after == before {
+		t.Fatalf("flip did not change the distance: %d", after)
+	}
+	// Flipping bit 7 moves the mod-256 distance by exactly 128.
+	if diff := (after + 256 - before) % 256; diff != 128 {
+		t.Fatalf("distance moved by %d, want 128", diff)
+	}
+	// Flipping back restores the original distance.
+	c.FlipTimestampBit(0, 7)
+	if got := c.Raw(0, 0); got != before {
+		t.Fatalf("double flip distance = %d, want %d", got, before)
+	}
+	if c.FlipTimestampBit(1, 0) {
+		t.Fatal("flip of non-resident line reported true")
+	}
+	for _, bad := range []func(){
+		func() { c.FlipTimestampBit(-1, 0) },
+		func() { c.FlipTimestampBit(64, 0) },
+		func() { c.FlipTimestampBit(0, 8) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("out-of-range flip did not panic")
+				}
+			}()
+			bad()
+		}()
+	}
+}

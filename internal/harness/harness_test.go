@@ -1,0 +1,277 @@
+package harness
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+func ok(id string) Task {
+	return Task{ID: id, Run: func() (interface{}, error) { return id + "-value", nil }}
+}
+
+func TestRunAllSalvagesAroundPanic(t *testing.T) {
+	boom := Task{ID: "boom", Run: func() (interface{}, error) { panic("harness_test: deliberate") }}
+	s := RunAll([]Task{ok("a"), boom, ok("b")}, Options{})
+	if len(s.Results) != 3 {
+		t.Fatalf("got %d results, want 3", len(s.Results))
+	}
+	if s.OK() {
+		t.Fatal("summary OK despite a panic")
+	}
+	if s.Completed() != 2 {
+		t.Fatalf("Completed = %d, want 2 — the panic must not stop the sweep", s.Completed())
+	}
+	failed := s.Failed()
+	if len(failed) != 1 || failed[0].ID != "boom" {
+		t.Fatalf("Failed = %+v, want exactly boom", failed)
+	}
+	var ee *ExperimentError
+	if !errors.As(failed[0].Err, &ee) {
+		t.Fatalf("failure is %T, want *ExperimentError", failed[0].Err)
+	}
+	if ee.Stack == nil {
+		t.Fatal("panic failure carries no stack")
+	}
+	if !strings.Contains(ee.Err.Error(), "deliberate") {
+		t.Fatalf("panic value lost: %v", ee.Err)
+	}
+	var buf strings.Builder
+	s.PrintFailures(&buf)
+	for _, want := range []string{"1 experiment(s) failed", "boom", "panic stack", "harness_test"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("failure report missing %q:\n%s", want, buf.String())
+		}
+	}
+}
+
+func TestRunAllTimeout(t *testing.T) {
+	hang := Task{ID: "hang", Run: func() (interface{}, error) {
+		select {} // blocks forever
+	}}
+	start := time.Now()
+	s := RunAll([]Task{hang, ok("after")}, Options{Timeout: 20 * time.Millisecond})
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("timeout did not fire; sweep took %v", elapsed)
+	}
+	failed := s.Failed()
+	if len(failed) != 1 || failed[0].ID != "hang" {
+		t.Fatalf("Failed = %+v, want exactly hang", failed)
+	}
+	var ee *ExperimentError
+	if !errors.As(failed[0].Err, &ee) || !ee.Timeout {
+		t.Fatalf("failure %v not marked as timeout", failed[0].Err)
+	}
+	if s.Completed() != 1 {
+		t.Fatalf("task after the hang did not run: %+v", s.Results)
+	}
+}
+
+func TestRunAllRetryBackoff(t *testing.T) {
+	attempts := 0
+	flaky := Task{ID: "flaky", Run: func() (interface{}, error) {
+		attempts++
+		if attempts < 3 {
+			return nil, Retryable(fmt.Errorf("transient %d", attempts))
+		}
+		return "finally", nil
+	}}
+	var slept []time.Duration
+	s := RunAll([]Task{flaky}, Options{
+		Retries: 5,
+		Backoff: 10 * time.Millisecond,
+		Sleep:   func(d time.Duration) { slept = append(slept, d) },
+	})
+	if !s.OK() {
+		t.Fatalf("flaky task failed: %+v", s.Failed())
+	}
+	if attempts != 3 {
+		t.Fatalf("ran %d attempts, want 3", attempts)
+	}
+	if r := s.Results[0]; r.Attempts != 3 || r.Value != "finally" {
+		t.Fatalf("result = %+v, want 3 attempts and the final value", r)
+	}
+	// Deterministic exponential backoff: 10ms then 20ms.
+	want := []time.Duration{10 * time.Millisecond, 20 * time.Millisecond}
+	if len(slept) != len(want) {
+		t.Fatalf("slept %v, want %v", slept, want)
+	}
+	for i := range want {
+		if slept[i] != want[i] {
+			t.Fatalf("slept %v, want %v", slept, want)
+		}
+	}
+}
+
+func TestRunAllRetriesExhausted(t *testing.T) {
+	attempts := 0
+	doomed := Task{ID: "doomed", Run: func() (interface{}, error) {
+		attempts++
+		return nil, Retryable(errors.New("always transient"))
+	}}
+	s := RunAll([]Task{doomed}, Options{Retries: 2, Sleep: func(time.Duration) {}})
+	if s.OK() {
+		t.Fatal("doomed task reported success")
+	}
+	if attempts != 3 {
+		t.Fatalf("ran %d attempts, want 1 + 2 retries", attempts)
+	}
+	var ee *ExperimentError
+	if !errors.As(s.Failed()[0].Err, &ee) || ee.Attempts != 3 {
+		t.Fatalf("failure %+v does not record 3 attempts", s.Failed()[0].Err)
+	}
+}
+
+func TestNonRetryableErrorRunsOnce(t *testing.T) {
+	attempts := 0
+	task := Task{ID: "hard", Run: func() (interface{}, error) {
+		attempts++
+		return nil, errors.New("deterministic failure")
+	}}
+	s := RunAll([]Task{task}, Options{Retries: 5, Sleep: func(time.Duration) {}})
+	if attempts != 1 {
+		t.Fatalf("unmarked error retried %d times; only Retryable may retry", attempts)
+	}
+	if s.OK() {
+		t.Fatal("failure not recorded")
+	}
+}
+
+func TestRetryableNil(t *testing.T) {
+	if Retryable(nil) != nil {
+		t.Fatal("Retryable(nil) != nil")
+	}
+	if IsRetryable(nil) {
+		t.Fatal("IsRetryable(nil)")
+	}
+	wrapped := fmt.Errorf("outer: %w", Retryable(errors.New("inner")))
+	if !IsRetryable(wrapped) {
+		t.Fatal("IsRetryable lost through wrapping")
+	}
+}
+
+func TestJournalResume(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sweep.journal")
+	runs := map[string]int{}
+	task := func(id string) Task {
+		return Task{ID: id, Run: func() (interface{}, error) {
+			runs[id]++
+			if id == "bad" {
+				return nil, errors.New("fails every time")
+			}
+			return nil, nil
+		}}
+	}
+	tasks := []Task{task("a"), task("bad"), task("b")}
+
+	j1, err := OpenJournal(path, "scope-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1 := RunAll(tasks, Options{Journal: j1})
+	if err := j1.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if s1.Completed() != 2 || len(s1.Failed()) != 1 {
+		t.Fatalf("first sweep: %+v", s1.Results)
+	}
+
+	// Second invocation, same scope: completed tasks skip, the failure
+	// re-runs.
+	j2, err := OpenJournal(path, "scope-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2 := RunAll(tasks, Options{Journal: j2})
+	if err := j2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if s2.Resumed() != 2 {
+		t.Fatalf("second sweep resumed %d tasks, want 2: %+v", s2.Resumed(), s2.Results)
+	}
+	if runs["a"] != 1 || runs["b"] != 1 {
+		t.Fatalf("completed tasks re-ran: %v", runs)
+	}
+	if runs["bad"] != 2 {
+		t.Fatalf("failed task did not re-run: %v", runs)
+	}
+
+	// Different scope: nothing resumes.
+	j3, err := OpenJournal(path, "scope-2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s3 := RunAll(tasks, Options{Journal: j3})
+	if err := j3.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if s3.Resumed() != 0 {
+		t.Fatalf("scope change still resumed %d tasks", s3.Resumed())
+	}
+	if runs["a"] != 2 {
+		t.Fatalf("scope change did not re-run completed task: %v", runs)
+	}
+}
+
+func TestJournalCorruptFileResumesNothing(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sweep.journal")
+	j, err := OpenJournal(path, "s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.MarkDone("a"); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+
+	// Truncate mid-line to simulate a crash during a write.
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, append(data, []byte(`{"done": "tru`)...), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	j2, err := OpenJournal(path, "s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	if j2.Done("tru") {
+		t.Fatal("resumed a task from a torn journal line")
+	}
+	if !j2.Done("a") && j2.Len() != 0 {
+		t.Fatalf("inconsistent journal state: len %d", j2.Len())
+	}
+}
+
+func TestReportCallbackSeesEveryTask(t *testing.T) {
+	var seen []string
+	var resumed []bool
+	path := filepath.Join(t.TempDir(), "sweep.journal")
+	j, err := OpenJournal(path, "s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.MarkDone("skip"); err != nil {
+		t.Fatal(err)
+	}
+	RunAll([]Task{ok("skip"), ok("run")}, Options{
+		Journal: j,
+		Report: func(r Result) {
+			seen = append(seen, r.ID)
+			resumed = append(resumed, r.Resumed)
+		},
+	})
+	j.Close()
+	if len(seen) != 2 || seen[0] != "skip" || seen[1] != "run" {
+		t.Fatalf("report saw %v, want [skip run]", seen)
+	}
+	if !resumed[0] || resumed[1] {
+		t.Fatalf("resumed flags %v, want [true false]", resumed)
+	}
+}

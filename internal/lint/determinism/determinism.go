@@ -42,6 +42,7 @@ var DefaultSimPackages = []string{
 	"fscache/internal/baselines",
 	"fscache/internal/cachearray",
 	"fscache/internal/experiments",
+	"fscache/internal/faultinject",
 }
 
 // Analyzer enforces the contract over DefaultSimPackages.

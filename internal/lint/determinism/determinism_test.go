@@ -25,6 +25,7 @@ func TestDefaultScope(t *testing.T) {
 		"fscache/internal/baselines":   true,
 		"fscache/internal/cachearray":  true,
 		"fscache/internal/experiments": true,
+		"fscache/internal/faultinject": true,
 	}
 	if len(determinism.DefaultSimPackages) != len(want) {
 		t.Fatalf("DefaultSimPackages has %d entries, want %d", len(determinism.DefaultSimPackages), len(want))

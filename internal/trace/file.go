@@ -5,51 +5,99 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"io"
 )
 
 // Binary trace file format (little endian):
 //
-//	magic   [4]byte  "FST1"
+//	magic   [4]byte  "FST2" (current) or "FST1" (legacy)
 //	count   uint64   number of access records
 //	records count × { addr uint64, gap uint32, kind uint8 }
+//	crc     uint32   FST2 only: IEEE CRC-32 of magic+count+records
 //
 // The format is deliberately dumb — fixed-width fields, no compression — so
 // that cmd/fstrace output is easy to inspect and third-party tools can parse
 // it with a ten-line script.
+//
+// FST2 appends a checksum footer so that bit rot, torn writes and truncated
+// downloads are detected instead of silently feeding garbage addresses into
+// a simulation. Reading is versioned by magic: FST1 files have no checksum
+// and are accepted as-is (lenient mode, for traces written before the footer
+// existed), while FST2 files are rejected with ErrBadCRC when the payload
+// does not match the footer (strict mode).
 
-var magic = [4]byte{'F', 'S', 'T', '1'}
+var (
+	magicV1 = [4]byte{'F', 'S', 'T', '1'}
+	magicV2 = [4]byte{'F', 'S', 'T', '2'}
+)
 
 // ErrBadMagic reports a file that is not a trace file.
 var ErrBadMagic = errors.New("trace: bad magic, not a trace file")
 
+// ErrBadCRC reports an FST2 file whose payload does not match its checksum
+// footer.
+var ErrBadCRC = errors.New("trace: checksum mismatch, corrupt trace file")
+
 const recordSize = 8 + 4 + 1
 
-// WriteTo serializes the trace to w. NextUse is not persisted; it is cheap
-// to recompute.
+// allocChunk bounds how many records are allocated ahead of what has
+// actually been read, so a corrupt or hostile header cannot make ReadFrom
+// allocate tens of gigabytes before the first record read fails.
+const allocChunk = 1 << 16
+
+// WriteTo serializes the trace to w in the current (FST2, checksummed)
+// format. NextUse is not persisted; it is cheap to recompute.
 func (t *Trace) WriteTo(w io.Writer) (int64, error) {
+	return t.writeTo(w, magicV2)
+}
+
+// WriteLegacyTo serializes the trace in the FST1 format (no checksum
+// footer), for interoperability tests and tools that predate FST2.
+func (t *Trace) WriteLegacyTo(w io.Writer) (int64, error) {
+	return t.writeTo(w, magicV1)
+}
+
+func (t *Trace) writeTo(w io.Writer, magic [4]byte) (int64, error) {
 	bw := bufio.NewWriterSize(w, 1<<16)
+	sum := crc32.NewIEEE()
 	var written int64
-	if n, err := bw.Write(magic[:]); err != nil {
-		return written + int64(n), err
+	// write sends p to both the file and the running checksum; bufio and
+	// crc32 writes cannot fail short, so one error check covers both.
+	write := func(p []byte) error {
+		n, err := bw.Write(p)
+		written += int64(n)
+		if err != nil {
+			return err
+		}
+		sum.Write(p)
+		return nil
 	}
-	written += 4
+	if err := write(magic[:]); err != nil {
+		return written, err
+	}
 	var hdr [8]byte
 	binary.LittleEndian.PutUint64(hdr[:], uint64(len(t.Accesses)))
-	if n, err := bw.Write(hdr[:]); err != nil {
-		return written + int64(n), err
+	if err := write(hdr[:]); err != nil {
+		return written, err
 	}
-	written += 8
 	var rec [recordSize]byte
 	for i := range t.Accesses {
 		a := &t.Accesses[i]
 		binary.LittleEndian.PutUint64(rec[0:8], a.Addr)
 		binary.LittleEndian.PutUint32(rec[8:12], a.Gap)
 		rec[12] = byte(a.Kind)
-		if n, err := bw.Write(rec[:]); err != nil {
+		if err := write(rec[:]); err != nil {
+			return written, err
+		}
+	}
+	if magic == magicV2 {
+		var foot [4]byte
+		binary.LittleEndian.PutUint32(foot[:], sum.Sum32())
+		if n, err := bw.Write(foot[:]); err != nil {
 			return written + int64(n), err
 		}
-		written += recordSize
+		written += 4
 	}
 	if err := bw.Flush(); err != nil {
 		return written, err
@@ -57,41 +105,78 @@ func (t *Trace) WriteTo(w io.Writer) (int64, error) {
 	return written, nil
 }
 
-// ReadFrom deserializes a trace from r, replacing t's contents.
+// ReadFrom deserializes a trace from r, replacing t's contents. Both trace
+// format versions are accepted: FST2 payloads are verified against their
+// CRC-32 footer (ErrBadCRC on mismatch), FST1 payloads have no checksum to
+// verify.
 func (t *Trace) ReadFrom(r io.Reader) (int64, error) {
+	n, _, err := t.DecodeFrom(r)
+	return n, err
+}
+
+// DecodeFrom is ReadFrom with the detected format version (1 or 2) also
+// returned; version is 0 when the magic could not be read.
+func (t *Trace) DecodeFrom(r io.Reader) (int64, int, error) {
 	br := bufio.NewReaderSize(r, 1<<16)
+	sum := crc32.NewIEEE()
 	var read int64
 	var m [4]byte
 	if _, err := io.ReadFull(br, m[:]); err != nil {
-		return read, err
+		return read, 0, fmt.Errorf("trace: truncated header: %w", err)
 	}
 	read += 4
-	if m != magic {
-		return read, ErrBadMagic
+	var version int
+	switch m {
+	case magicV1:
+		version = 1
+	case magicV2:
+		version = 2
+	default:
+		return read, 0, ErrBadMagic
 	}
+	sum.Write(m[:])
 	var hdr [8]byte
 	if _, err := io.ReadFull(br, hdr[:]); err != nil {
-		return read, err
+		return read, version, fmt.Errorf("trace: truncated header: %w", err)
 	}
 	read += 8
+	sum.Write(hdr[:])
 	count := binary.LittleEndian.Uint64(hdr[:])
 	const maxRecords = 1 << 32
 	if count > maxRecords {
-		return read, fmt.Errorf("trace: implausible record count %d", count)
+		return read, version, fmt.Errorf("trace: implausible record count %d", count)
 	}
-	t.Accesses = make([]Access, count)
+	// Cap the header-trusted allocation: a corrupt count must fail at the
+	// first missing record, not OOM up front. Beyond the cap, append's
+	// geometric growth keeps total copying linear.
+	capHint := count
+	if capHint > allocChunk {
+		capHint = allocChunk
+	}
+	t.Accesses = make([]Access, 0, capHint)
 	t.NextUse = nil
 	var rec [recordSize]byte
 	for i := uint64(0); i < count; i++ {
 		if _, err := io.ReadFull(br, rec[:]); err != nil {
-			return read, fmt.Errorf("trace: truncated at record %d: %w", i, err)
+			return read, version, fmt.Errorf("trace: truncated at record %d: %w", i, err)
 		}
 		read += recordSize
-		t.Accesses[i] = Access{
+		sum.Write(rec[:])
+		t.Accesses = append(t.Accesses, Access{
 			Addr: binary.LittleEndian.Uint64(rec[0:8]),
 			Gap:  binary.LittleEndian.Uint32(rec[8:12]),
 			Kind: Kind(rec[12]),
+		})
+	}
+	if version >= 2 {
+		var foot [4]byte
+		if _, err := io.ReadFull(br, foot[:]); err != nil {
+			return read, version, fmt.Errorf("trace: truncated checksum footer: %w", err)
+		}
+		read += 4
+		if want := binary.LittleEndian.Uint32(foot[:]); want != sum.Sum32() {
+			return read, version, fmt.Errorf("%w (footer %08x, payload %08x)", ErrBadCRC, want, sum.Sum32())
 		}
 	}
-	return read, nil
+	return read, version, nil
 }

@@ -2,7 +2,10 @@ package trace
 
 import (
 	"bytes"
+	"encoding/binary"
 	"errors"
+	"io"
+	"strings"
 	"testing"
 	"testing/quick"
 
@@ -173,11 +176,100 @@ func TestFileTruncated(t *testing.T) {
 }
 
 func TestFileImplausibleCount(t *testing.T) {
-	raw := append([]byte{}, magic[:]...)
+	raw := append([]byte{}, magicV2[:]...)
 	raw = append(raw, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x7f)
 	var back Trace
 	if _, err := back.ReadFrom(bytes.NewReader(raw)); err == nil {
 		t.Fatal("implausible count did not error")
+	}
+}
+
+func TestFileTruncatedHeaderContext(t *testing.T) {
+	for _, raw := range [][]byte{{}, []byte("FS"), []byte("FST2"), []byte("FST2\x03\x00\x00")} {
+		var back Trace
+		_, err := back.ReadFrom(bytes.NewReader(raw))
+		if err == nil {
+			t.Fatalf("header prefix %q accepted", raw)
+		}
+		if !strings.Contains(err.Error(), "trace: truncated header") {
+			t.Errorf("header prefix %q: err = %v, want truncated-header context", raw, err)
+		}
+		if !errors.Is(err, io.ErrUnexpectedEOF) && !errors.Is(err, io.EOF) {
+			t.Errorf("header prefix %q: err = %v does not unwrap to an io error", raw, err)
+		}
+	}
+}
+
+func TestFileCRCDetectsCorruption(t *testing.T) {
+	tr := mk(1, 2, 3)
+	var buf bytes.Buffer
+	if _, err := tr.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	if got := string(raw[:4]); got != "FST2" {
+		t.Fatalf("WriteTo magic = %q, want FST2", got)
+	}
+	// Every single-byte corruption of the payload or footer must be caught.
+	for i := 12; i < len(raw); i++ {
+		bad := append([]byte{}, raw...)
+		bad[i] ^= 0x40
+		var back Trace
+		if _, err := back.ReadFrom(bytes.NewReader(bad)); err == nil {
+			t.Fatalf("corruption at byte %d went undetected", i)
+		}
+	}
+	bad := append([]byte{}, raw...)
+	bad[len(bad)-1] ^= 0x01
+	var back Trace
+	_, err := back.ReadFrom(bytes.NewReader(bad))
+	if !errors.Is(err, ErrBadCRC) {
+		t.Fatalf("err = %v, want ErrBadCRC", err)
+	}
+}
+
+func TestFileLegacyLenient(t *testing.T) {
+	tr := mk(7, 8, 9)
+	var buf bytes.Buffer
+	if _, err := tr.WriteLegacyTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	if got := string(raw[:4]); got != "FST1" {
+		t.Fatalf("WriteLegacyTo magic = %q, want FST1", got)
+	}
+	var back Trace
+	n, version, err := back.DecodeFrom(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if version != 1 {
+		t.Fatalf("version = %d, want 1", version)
+	}
+	if n != int64(len(raw)) {
+		t.Fatalf("read %d of %d bytes", n, len(raw))
+	}
+	if len(back.Accesses) != 3 || back.Accesses[2].Addr != 9 {
+		t.Fatalf("legacy round trip mismatch: %+v", back.Accesses)
+	}
+}
+
+func TestFileLyingCountNoOOM(t *testing.T) {
+	// A header claiming 2^31 records over a 3-record body must error out
+	// without allocating anywhere near 2^31 records.
+	tr := mk(1, 2, 3)
+	var buf bytes.Buffer
+	if _, err := tr.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	binary.LittleEndian.PutUint64(raw[4:12], 1<<31)
+	var back Trace
+	if _, err := back.ReadFrom(bytes.NewReader(raw)); err == nil {
+		t.Fatal("lying count accepted")
+	}
+	if cap(back.Accesses) > 1<<17 {
+		t.Fatalf("lying count preallocated %d records", cap(back.Accesses))
 	}
 }
 
