@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test race lint check fmt fuzz smoke
+.PHONY: build test race lint check fmt fuzz smoke bench benchjson
 
 build:
 	$(GO) build ./...
@@ -29,5 +29,15 @@ fuzz:
 # End-to-end smoke: the full quick-scale sweep must exit 0.
 smoke:
 	$(GO) run ./cmd/fstables -scale quick
+
+# Hot-path microbenchmarks with allocation counts (go test -bench form).
+bench:
+	$(GO) test -run='^$$' -bench=. -benchmem ./internal/ost ./internal/futility ./internal/core
+
+# Full fsbench run: writes BENCH_<date>.json and diffs against the newest
+# committed baseline (advisory). Refresh the committed file when a PR is
+# expected to move the numbers; see DESIGN.md §10.
+benchjson:
+	$(GO) run ./cmd/fsbench -compare "$$(ls BENCH_*.json 2>/dev/null | sort | tail -1)"
 
 check: build lint test race

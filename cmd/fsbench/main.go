@@ -1,0 +1,191 @@
+// Command fsbench runs the internal/perfbench registry standalone and emits
+// a machine-readable BENCH_<date>.json report: ns/op, B/op, allocs/op and —
+// for per-access benchmarks — accesses/sec for every hot path in the
+// replacement pipeline. CI runs it as a smoke test and archives the JSON so
+// the repo carries its performance trajectory alongside its correctness
+// suite; the committed BENCH_*.json files are refreshed whenever a PR is
+// expected to move the numbers (see DESIGN.md §10).
+//
+// Examples:
+//
+//	fsbench                        # full run, writes BENCH_<today>.json
+//	fsbench -quick                 # short benchtime for CI smoke
+//	fsbench -list                  # print the registry and exit
+//	fsbench -run 'core/'           # only benchmarks whose name contains core/
+//	fsbench -compare BENCH_old.json  # advisory delta report (never fails)
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"fscache/internal/perfbench"
+)
+
+// Report is the BENCH_<date>.json schema.
+type Report struct {
+	Date      string   `json:"date"`
+	GoVersion string   `json:"go_version"`
+	GOOS      string   `json:"goos"`
+	GOARCH    string   `json:"goarch"`
+	NumCPU    int      `json:"num_cpu"`
+	Benchtime string   `json:"benchtime"`
+	Results   []Result `json:"results"`
+}
+
+// Result is one benchmark's measurement.
+type Result struct {
+	Name        string  `json:"name"`
+	Doc         string  `json:"doc"`
+	N           int     `json:"n"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BPerOp      int64   `json:"b_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	// AccessesPerSec is 1e9/NsPerOp for benchmarks whose op is one cache
+	// access, 0 otherwise.
+	AccessesPerSec float64 `json:"accesses_per_sec,omitempty"`
+	// ZeroAllocContract marks benchmarks bound by the steady-state
+	// zero-allocation contract (DESIGN.md §10).
+	ZeroAllocContract bool `json:"zero_alloc_contract,omitempty"`
+}
+
+func main() {
+	var (
+		quick   = flag.Bool("quick", false, "short benchtime (20ms) for CI smoke runs")
+		list    = flag.Bool("list", false, "list registered benchmarks and exit")
+		run     = flag.String("run", "", "only run benchmarks whose name contains this substring")
+		out     = flag.String("out", "", "output JSON path (default BENCH_<date>.json)")
+		compare = flag.String("compare", "", "prior BENCH_*.json to diff against (advisory; never affects exit status)")
+		btime   = flag.String("benchtime", "", "explicit test.benchtime value (overrides -quick)")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, b := range perfbench.Registry() {
+			fmt.Printf("%-24s %s\n", b.Name, b.Doc)
+		}
+		return
+	}
+
+	bt := "1s"
+	if *quick {
+		bt = "20ms"
+	}
+	if *btime != "" {
+		bt = *btime
+	}
+	// testing.Benchmark honours the test.benchtime flag; testing.Init
+	// registers it outside a test binary.
+	testing.Init()
+	if err := flag.Set("test.benchtime", bt); err != nil {
+		fail(err.Error())
+	}
+
+	rep := Report{
+		Date:      time.Now().Format("2006-01-02"),
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		NumCPU:    runtime.NumCPU(),
+		Benchtime: bt,
+	}
+
+	for _, b := range perfbench.Registry() {
+		if *run != "" && !strings.Contains(b.Name, *run) {
+			continue
+		}
+		fmt.Fprintf(os.Stderr, "running %-24s ", b.Name)
+		r := testing.Benchmark(b.Fn)
+		res := Result{
+			Name:              b.Name,
+			Doc:               b.Doc,
+			N:                 r.N,
+			NsPerOp:           float64(r.T.Nanoseconds()) / float64(r.N),
+			BPerOp:            r.AllocedBytesPerOp(),
+			AllocsPerOp:       r.AllocsPerOp(),
+			ZeroAllocContract: b.ZeroAlloc,
+		}
+		if b.PerAccess && res.NsPerOp > 0 {
+			res.AccessesPerSec = 1e9 / res.NsPerOp
+		}
+		fmt.Fprintf(os.Stderr, "%12.1f ns/op %6d B/op %4d allocs/op\n",
+			res.NsPerOp, res.BPerOp, res.AllocsPerOp)
+		if b.ZeroAlloc && res.AllocsPerOp != 0 {
+			fmt.Fprintf(os.Stderr, "fsbench: WARNING: %s reports %d allocs/op against a zero-allocation contract\n",
+				b.Name, res.AllocsPerOp)
+		}
+		rep.Results = append(rep.Results, res)
+	}
+	if len(rep.Results) == 0 {
+		fail("no benchmarks matched -run " + *run)
+	}
+
+	path := *out
+	if path == "" {
+		path = "BENCH_" + rep.Date + ".json"
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fail(err.Error())
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		fail(err.Error())
+	}
+	fmt.Fprintf(os.Stderr, "fsbench: wrote %s\n", path)
+
+	if *compare != "" {
+		compareReports(*compare, rep)
+	}
+}
+
+// compareReports prints an advisory per-benchmark delta against a prior
+// report. It deliberately never exits non-zero: shared CI runners make
+// ns/op too noisy to gate on, so regressions are surfaced, not enforced.
+func compareReports(path string, cur Report) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "fsbench: compare: %v (skipping)\n", err)
+		return
+	}
+	var old Report
+	if err := json.Unmarshal(data, &old); err != nil {
+		fmt.Fprintf(os.Stderr, "fsbench: compare: %s: %v (skipping)\n", path, err)
+		return
+	}
+	base := map[string]Result{}
+	for _, r := range old.Results {
+		base[r.Name] = r
+	}
+	fmt.Printf("\ncomparison vs %s (%s), advisory only:\n", path, old.Date)
+	fmt.Printf("%-24s %12s %12s %8s\n", "benchmark", "old ns/op", "new ns/op", "delta")
+	for _, r := range cur.Results {
+		o, ok := base[r.Name]
+		if !ok || o.N == 0 {
+			fmt.Printf("%-24s %12s %12.1f %8s\n", r.Name, "-", r.NsPerOp, "new")
+			continue
+		}
+		delta := (r.NsPerOp - o.NsPerOp) / o.NsPerOp * 100
+		mark := ""
+		if delta > 10 {
+			mark = "  << regression?"
+		} else if delta < -10 {
+			mark = "  << improvement"
+		}
+		fmt.Printf("%-24s %12.1f %12.1f %+7.1f%%%s\n", r.Name, o.NsPerOp, r.NsPerOp, delta, mark)
+		if r.AllocsPerOp > o.AllocsPerOp {
+			fmt.Printf("%-24s allocs/op grew %d -> %d\n", "", o.AllocsPerOp, r.AllocsPerOp)
+		}
+	}
+}
+
+func fail(msg string) {
+	fmt.Fprintln(os.Stderr, "fsbench:", msg)
+	os.Exit(2)
+}

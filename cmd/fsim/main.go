@@ -19,6 +19,7 @@ import (
 
 	"fscache/internal/experiments"
 	"fscache/internal/futility"
+	"fscache/internal/profiling"
 	"fscache/internal/sim"
 	"fscache/internal/trace"
 	"fscache/internal/workload"
@@ -37,6 +38,7 @@ func main() {
 		seed     = flag.Uint64("seed", 1, "simulation seed")
 		maxsteps = flag.Uint64("maxsteps", 0, "deterministic watchdog: panic after this many simulated accesses (0 = off)")
 	)
+	prof := profiling.Register()
 	flag.Parse()
 
 	names := splitList(*benches)
@@ -54,6 +56,11 @@ func main() {
 	if err != nil {
 		fail(err.Error())
 	}
+
+	if err := prof.Start(); err != nil {
+		fail(err.Error())
+	}
+	defer prof.Stop()
 
 	// Build per-thread traces through private L1 filters.
 	traces := make([]*trace.Trace, parts)

@@ -5,6 +5,8 @@
 //	determinism  no math/rand, wall-clock reads or order-sensitive map
 //	             iteration in simulation packages
 //	floateq      no ==/!= between floating-point expressions
+//	hotpath      no inline fmt formatting inside panic() in simulation
+//	             packages (use a cold *panic* helper)
 //	panicstyle   panic messages must carry the "pkg: " prefix
 //	tswrap       no raw arithmetic on 8-bit wrapping timestamp fields
 //
@@ -36,6 +38,7 @@ import (
 	"fscache/internal/lint/analysis"
 	"fscache/internal/lint/determinism"
 	"fscache/internal/lint/floateq"
+	"fscache/internal/lint/hotpath"
 	"fscache/internal/lint/panicstyle"
 	"fscache/internal/lint/tswrap"
 )
@@ -43,6 +46,7 @@ import (
 var all = []*analysis.Analyzer{
 	determinism.Analyzer,
 	floateq.Analyzer,
+	hotpath.Analyzer,
 	panicstyle.Analyzer,
 	tswrap.Analyzer,
 }

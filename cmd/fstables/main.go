@@ -28,6 +28,7 @@ import (
 
 	"fscache/internal/experiments"
 	"fscache/internal/harness"
+	"fscache/internal/profiling"
 )
 
 func main() {
@@ -44,6 +45,7 @@ func main() {
 		journal = flag.String("journal", "fstables.journal", "completion journal used by -resume")
 		panicID = flag.String("panic", "", "make the named experiment panic (harness self-test)")
 	)
+	prof := profiling.Register()
 	flag.Parse()
 
 	if *list {
@@ -65,6 +67,11 @@ func main() {
 	}
 	if *seed != 0 {
 		sc.Seed = *seed
+	}
+
+	if err := prof.Start(); err != nil {
+		fmt.Fprintln(os.Stderr, "fstables:", err)
+		os.Exit(2)
 	}
 
 	runners := experiments.Registry()
@@ -146,6 +153,7 @@ func main() {
 	}
 
 	summary := harness.RunAll(tasks, opts)
+	prof.Stop() // flush profiles before any failure exit
 	if !summary.OK() {
 		summary.PrintFailures(os.Stderr)
 		os.Exit(1)

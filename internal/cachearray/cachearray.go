@@ -39,12 +39,13 @@ type Move struct {
 //
 // The calling protocol on a miss for address a is:
 //
-//	cands := arr.Candidates(a)     // inspect, pick victim v ∈ cands
-//	moves := arr.Install(a, v)     // a now resides somewhere findable
+//	cands := arr.Candidates(a, cands[:0])  // inspect, pick victim v ∈ cands
+//	moves := arr.Install(a, v, moves[:0])  // a now resides somewhere findable
 //
-// Candidates may return an internal buffer that is invalidated by the next
-// Candidates or Install call. Install must be passed a line from the most
-// recent Candidates(a) result.
+// Candidates and Install append into caller-owned slices and return the
+// extended slice (append idiom), so a controller reusing its buffers drives
+// the whole miss path without allocating. Install must be passed a line from
+// the most recent Candidates(a) result.
 type Array interface {
 	// Name identifies the organization for reports.
 	Name() string
@@ -52,13 +53,14 @@ type Array interface {
 	Lines() int
 	// Lookup returns the line index currently holding addr, or -1.
 	Lookup(addr uint64) int
-	// Candidates returns the replacement-candidate line indices for addr.
-	Candidates(addr uint64) []int
+	// Candidates appends the replacement-candidate line indices for addr to
+	// dst and returns the extended slice.
+	Candidates(addr uint64, dst []int) []int
 	// AddrOf returns the address stored in line and whether it is valid.
 	AddrOf(line int) (addr uint64, valid bool)
-	// Install stores addr in victim (evicting its content) and returns any
-	// relocations performed.
-	Install(addr uint64, victim int) []Move
+	// Install stores addr in victim (evicting its content), appends any
+	// relocations performed to moves and returns the extended slice.
+	Install(addr uint64, victim int, moves []Move) []Move
 }
 
 // AllCandidates is implemented by arrays whose Candidates list is every
@@ -76,7 +78,7 @@ type Freer interface {
 
 func checkPow2(n int, what string) {
 	if n <= 0 || n&(n-1) != 0 {
-		panic(fmt.Sprintf("cachearray: %s must be a positive power of two, got %d", what, n))
+		panicf("%s must be a positive power of two, got %d", what, n)
 	}
 }
 
@@ -99,7 +101,6 @@ type SetAssoc struct {
 	valid []bool
 	kind  IndexKind
 	h3    *hashing.H3
-	buf   []int
 }
 
 // NewSetAssoc builds an array of lines = sets×ways lines. lines and ways
@@ -117,7 +118,6 @@ func NewSetAssoc(lines, ways int, kind IndexKind, seed uint64) *SetAssoc {
 		addrs: make([]uint64, lines),
 		valid: make([]bool, lines),
 		kind:  kind,
-		buf:   make([]int, ways),
 	}
 	if kind == IndexH3 {
 		a.h3 = hashing.NewH3(seed, sets)
@@ -161,12 +161,12 @@ func (a *SetAssoc) Lookup(addr uint64) int {
 }
 
 // Candidates implements Array: the ways of addr's set.
-func (a *SetAssoc) Candidates(addr uint64) []int {
+func (a *SetAssoc) Candidates(addr uint64, dst []int) []int {
 	base := a.set(addr) * a.ways
 	for w := 0; w < a.ways; w++ {
-		a.buf[w] = base + w
+		dst = append(dst, base+w)
 	}
-	return a.buf
+	return dst
 }
 
 // AddrOf implements Array.
@@ -175,13 +175,13 @@ func (a *SetAssoc) AddrOf(line int) (uint64, bool) {
 }
 
 // Install implements Array.
-func (a *SetAssoc) Install(addr uint64, victim int) []Move {
+func (a *SetAssoc) Install(addr uint64, victim int, moves []Move) []Move {
 	if victim/a.ways != a.set(addr) {
 		panic("cachearray: victim outside address's set")
 	}
 	a.addrs[victim] = addr
 	a.valid[victim] = true
-	return nil
+	return moves
 }
 
 // Skew is a skew-associative array: way w has its own hash function, so the
@@ -194,7 +194,6 @@ type Skew struct {
 	family *hashing.Family
 	addrs  []uint64
 	valid  []bool
-	buf    []int
 }
 
 // NewSkew builds a skew-associative array. lines and ways must be powers of
@@ -212,7 +211,6 @@ func NewSkew(lines, ways int, seed uint64) *Skew {
 		family: hashing.NewFamily(seed, ways, sets),
 		addrs:  make([]uint64, lines),
 		valid:  make([]bool, lines),
-		buf:    make([]int, ways),
 	}
 }
 
@@ -238,11 +236,11 @@ func (s *Skew) Lookup(addr uint64) int {
 }
 
 // Candidates implements Array: one line per way.
-func (s *Skew) Candidates(addr uint64) []int {
+func (s *Skew) Candidates(addr uint64, dst []int) []int {
 	for w := 0; w < s.ways; w++ {
-		s.buf[w] = s.pos(w, addr)
+		dst = append(dst, s.pos(w, addr))
 	}
-	return s.buf
+	return dst
 }
 
 // AddrOf implements Array.
@@ -251,13 +249,13 @@ func (s *Skew) AddrOf(line int) (uint64, bool) {
 }
 
 // Install implements Array.
-func (s *Skew) Install(addr uint64, victim int) []Move {
+func (s *Skew) Install(addr uint64, victim int, moves []Move) []Move {
 	if s.pos(victim/s.sets, addr) != victim {
 		panic("cachearray: victim is not a candidate position for address")
 	}
 	s.addrs[victim] = addr
 	s.valid[victim] = true
-	return nil
+	return moves
 }
 
 // Random is the analytical cache of §IV: R candidates drawn independently
@@ -271,7 +269,6 @@ type Random struct {
 	index  map[uint64]int
 	free   []int
 	rng    *xrand.Rand
-	buf    []int
 	seqDup bool // whether duplicates are filtered
 }
 
@@ -290,7 +287,6 @@ func NewRandom(lines, r int, seed uint64) *Random {
 		index: make(map[uint64]int, lines),
 		free:  make([]int, lines),
 		rng:   xrand.New(seed),
-		buf:   make([]int, 0, r),
 	}
 	for i := range a.free {
 		a.free[i] = lines - 1 - i // pop order 0,1,2,...
@@ -321,22 +317,22 @@ func (a *Random) FreeLine(addr uint64) int {
 }
 
 // Candidates implements Array: r distinct uniform lines.
-func (a *Random) Candidates(addr uint64) []int {
-	a.buf = a.buf[:0]
-	for len(a.buf) < a.r {
+func (a *Random) Candidates(addr uint64, dst []int) []int {
+	start := len(dst)
+	for len(dst)-start < a.r {
 		c := a.rng.Intn(len(a.addrs))
 		dup := false
-		for _, b := range a.buf {
+		for _, b := range dst[start:] {
 			if b == c {
 				dup = true
 				break
 			}
 		}
 		if !dup {
-			a.buf = append(a.buf, c)
+			dst = append(dst, c)
 		}
 	}
-	return a.buf
+	return dst
 }
 
 // AddrOf implements Array.
@@ -345,7 +341,7 @@ func (a *Random) AddrOf(line int) (uint64, bool) {
 }
 
 // Install implements Array.
-func (a *Random) Install(addr uint64, victim int) []Move {
+func (a *Random) Install(addr uint64, victim int, moves []Move) []Move {
 	if a.valid[victim] {
 		delete(a.index, a.addrs[victim])
 	} else {
@@ -361,7 +357,7 @@ func (a *Random) Install(addr uint64, victim int) []Move {
 	a.addrs[victim] = addr
 	a.valid[victim] = true
 	a.index[addr] = victim
-	return nil
+	return moves
 }
 
 // FullyAssoc is the idealized array in which every line is a replacement
@@ -419,8 +415,11 @@ func (a *FullyAssoc) FreeLine(addr uint64) int {
 	return a.free[len(a.free)-1]
 }
 
-// Candidates implements Array: every line.
-func (a *FullyAssoc) Candidates(addr uint64) []int { return a.all }
+// Candidates implements Array: every line. Controllers should prefer the
+// AllCandidates fast path to copying the full list.
+func (a *FullyAssoc) Candidates(addr uint64, dst []int) []int {
+	return append(dst, a.all...)
+}
 
 // AddrOf implements Array.
 func (a *FullyAssoc) AddrOf(line int) (uint64, bool) {
@@ -428,7 +427,7 @@ func (a *FullyAssoc) AddrOf(line int) (uint64, bool) {
 }
 
 // Install implements Array.
-func (a *FullyAssoc) Install(addr uint64, victim int) []Move {
+func (a *FullyAssoc) Install(addr uint64, victim int, moves []Move) []Move {
 	if a.valid[victim] {
 		delete(a.index, a.addrs[victim])
 	} else {
@@ -442,5 +441,14 @@ func (a *FullyAssoc) Install(addr uint64, victim int) []Move {
 	a.addrs[victim] = addr
 	a.valid[victim] = true
 	a.index[addr] = victim
-	return nil
+	return moves
+}
+
+// panicf formats a cold-path panic message out of line, keeping fmt calls
+// (and their escaping arguments) out of the callers' bodies — the fslint
+// hotpath rule rejects panic(fmt.Sprintf(...)) inline in simulation code.
+//
+//go:noinline
+func panicf(format string, args ...any) {
+	panic("cachearray: " + fmt.Sprintf(format, args...))
 }

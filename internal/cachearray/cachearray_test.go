@@ -20,7 +20,7 @@ func fill(a Array, n int, rng *xrand.Rand) []uint64 {
 		if f, ok := a.(Freer); ok {
 			victim = f.FreeLine(addr)
 		}
-		cands := a.Candidates(addr)
+		cands := a.Candidates(addr, nil)
 		if victim < 0 {
 			// Prefer an invalid candidate.
 			for _, c := range cands {
@@ -45,7 +45,7 @@ func fill(a Array, n int, rng *xrand.Rand) []uint64 {
 				victim = cands[0]
 			}
 		}
-		a.Install(addr, victim)
+		a.Install(addr, victim, nil)
 		addrs = append(addrs, addr)
 	}
 	return addrs
@@ -83,7 +83,7 @@ func TestLookupAfterInstall(t *testing.T) {
 				if a.Lookup(addr) >= 0 {
 					continue
 				}
-				cands := a.Candidates(addr)
+				cands := a.Candidates(addr, nil)
 				victim := cands[0]
 				for _, c := range cands {
 					if _, valid := a.AddrOf(c); !valid {
@@ -91,7 +91,7 @@ func TestLookupAfterInstall(t *testing.T) {
 						break
 					}
 				}
-				a.Install(addr, victim)
+				a.Install(addr, victim, nil)
 				line := a.Lookup(addr)
 				if line < 0 {
 					t.Fatalf("address %#x not found after install", addr)
@@ -126,7 +126,7 @@ func TestCandidateCounts(t *testing.T) {
 		{NewFullyAssoc(lines), lines},
 	}
 	for _, c := range cases {
-		if got := len(c.a.Candidates(12345)); got != c.want {
+		if got := len(c.a.Candidates(12345, nil)); got != c.want {
 			t.Errorf("%s: candidates = %d, want %d", c.a.Name(), got, c.want)
 		}
 	}
@@ -145,9 +145,9 @@ func TestCandidatesContainInstallTarget(t *testing.T) {
 				if a.Lookup(addr) >= 0 {
 					continue
 				}
-				cands := a.Candidates(addr)
+				cands := a.Candidates(addr, nil)
 				victim := cands[rng.Intn(len(cands))]
-				a.Install(addr, victim)
+				a.Install(addr, victim, nil)
 				if a.Lookup(addr) < 0 {
 					t.Fatalf("iteration %d: %#x unfindable after install at %d", i, addr, victim)
 				}
@@ -158,20 +158,20 @@ func TestCandidatesContainInstallTarget(t *testing.T) {
 
 func TestSetAssocVictimOutsideSetPanics(t *testing.T) {
 	a := NewSetAssoc(64, 4, IndexXOR, 1)
-	set := a.Candidates(1)[0] / 4
+	set := a.Candidates(1, nil)[0] / 4
 	other := (set + 1) % (64 / 4)
 	defer func() {
 		if recover() == nil {
 			t.Fatal("no panic")
 		}
 	}()
-	a.Install(1, other*4)
+	a.Install(1, other*4, nil)
 }
 
 func TestRandomCandidatesDistinct(t *testing.T) {
 	a := NewRandom(64, 16, 9)
 	for i := 0; i < 200; i++ {
-		cands := a.Candidates(uint64(i))
+		cands := a.Candidates(uint64(i), nil)
 		seen := map[int]bool{}
 		for _, c := range cands {
 			if seen[c] {
@@ -192,7 +192,7 @@ func TestRandomCandidatesUniform(t *testing.T) {
 	counts := make([]int, 128)
 	const trials = 20000
 	for i := 0; i < trials; i++ {
-		for _, c := range a.Candidates(uint64(i)) {
+		for _, c := range a.Candidates(uint64(i), nil) {
 			counts[c]++
 		}
 	}
@@ -217,7 +217,7 @@ func TestFreeLine(t *testing.T) {
 			if line < 0 {
 				break
 			}
-			a.Install(uint64(1000+installed), line)
+			a.Install(uint64(1000+installed), line, nil)
 			installed++
 			if installed > 8 {
 				t.Fatalf("%s: more free lines than capacity", a.Name())
@@ -255,7 +255,7 @@ func TestZCacheWalkSize(t *testing.T) {
 	fill(z, 1024, rng)
 	total, n := 0, 0
 	for i := 0; i < 100; i++ {
-		c := z.Candidates(rng.Uint64())
+		c := z.Candidates(rng.Uint64(), nil)
 		if len(c) > 52 {
 			t.Fatalf("walk produced %d candidates, cap 52", len(c))
 		}
@@ -279,10 +279,10 @@ func TestZCacheRelocationPreservesContents(t *testing.T) {
 		if z.Lookup(addr) >= 0 {
 			continue
 		}
-		cands := z.Candidates(addr)
+		cands := z.Candidates(addr, nil)
 		victim := cands[rng.Intn(len(cands))]
 		evicted, evictedValid := z.AddrOf(victim)
-		moves := z.Install(addr, victim)
+		moves := z.Install(addr, victim, nil)
 		for _, m := range moves {
 			if m.From < 0 || m.From >= 256 || m.To < 0 || m.To >= 256 {
 				t.Fatalf("move out of range: %+v", m)
@@ -316,12 +316,12 @@ func TestZCacheInstallWithoutWalkPanics(t *testing.T) {
 			t.Fatal("no panic")
 		}
 	}()
-	z.Install(42, 0)
+	z.Install(42, 0, nil)
 }
 
 func TestZCacheVictimNotCandidatePanics(t *testing.T) {
 	z := NewZCache(64, 4, 1, 1)
-	cands := z.Candidates(42)
+	cands := z.Candidates(42, nil)
 	bad := 0
 	for isCand := true; isCand; bad++ {
 		isCand = false
@@ -338,7 +338,7 @@ func TestZCacheVictimNotCandidatePanics(t *testing.T) {
 			t.Fatal("no panic")
 		}
 	}()
-	z.Install(42, bad)
+	z.Install(42, bad, nil)
 }
 
 func TestConstructorValidation(t *testing.T) {
@@ -378,9 +378,9 @@ func TestQuickInstallInvariants(t *testing.T) {
 			if z.Lookup(addr) >= 0 {
 				continue
 			}
-			cands := z.Candidates(addr)
+			cands := z.Candidates(addr, nil)
 			victim := cands[int(p)%len(cands)]
-			z.Install(addr, victim)
+			z.Install(addr, victim, nil)
 			if z.Lookup(addr) < 0 {
 				return false
 			}
@@ -406,8 +406,8 @@ func BenchmarkSetAssocAccess(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		addr := rng.Uint64() % 100000
 		if a.Lookup(addr) < 0 {
-			c := a.Candidates(addr)
-			a.Install(addr, c[i%16])
+			c := a.Candidates(addr, nil)
+			a.Install(addr, c[i%16], nil)
 		}
 	}
 }
@@ -420,8 +420,8 @@ func BenchmarkZCacheWalk(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		addr := rng.Uint64() % 100000
 		if z.Lookup(addr) < 0 {
-			c := z.Candidates(addr)
-			z.Install(addr, c[i%len(c)])
+			c := z.Candidates(addr, nil)
+			z.Install(addr, c[i%len(c)], nil)
 		}
 	}
 }

@@ -29,8 +29,6 @@ type ZCache struct {
 	walkAddr  uint64
 	walkValid bool
 	nodes     []walkNode
-	buf       []int
-	moves     []Move
 }
 
 type walkNode struct {
@@ -99,11 +97,11 @@ func (z *ZCache) Lookup(addr uint64) int {
 }
 
 // Candidates implements Array by performing the replacement walk. The
-// returned lines are deduplicated; free (invalid) lines are included but not
-// expanded (there is no resident address to relocate through them).
-func (z *ZCache) Candidates(addr uint64) []int {
+// appended lines are deduplicated; free (invalid) lines are included but not
+// expanded (there is no resident address to relocate through them). The walk
+// graph itself stays in internal state for the subsequent Install.
+func (z *ZCache) Candidates(addr uint64, dst []int) []int {
 	z.nodes = z.nodes[:0]
-	z.buf = z.buf[:0]
 	z.walkAddr = addr
 	z.walkValid = true
 
@@ -141,9 +139,9 @@ func (z *ZCache) Candidates(addr uint64) []int {
 		levelStart, levelEnd = levelEnd, len(z.nodes)
 	}
 	for _, n := range z.nodes {
-		z.buf = append(z.buf, n.line)
+		dst = append(dst, n.line)
 	}
-	return z.buf
+	return dst
 }
 
 // AddrOf implements Array.
@@ -153,9 +151,9 @@ func (z *ZCache) AddrOf(line int) (uint64, bool) {
 
 // Install implements Array. victim must come from the Candidates call for
 // the same address; lines along the walk path from the victim back to a
-// root are relocated (returned as Moves, applied in order) and addr is
+// root are relocated (appended to moves, applied in order) and addr is
 // installed at the vacated root.
-func (z *ZCache) Install(addr uint64, victim int) []Move {
+func (z *ZCache) Install(addr uint64, victim int, moves []Move) []Move {
 	if !z.walkValid || addr != z.walkAddr {
 		panic("cachearray: Install without a matching Candidates walk")
 	}
@@ -170,7 +168,6 @@ func (z *ZCache) Install(addr uint64, victim int) []Move {
 	if nodeIdx < 0 {
 		panic("cachearray: victim was not a walk candidate")
 	}
-	z.moves = z.moves[:0]
 	// Relocate parent contents downward along the path, child-first: each
 	// copy reads a parent line that has not yet been overwritten.
 	cur := nodeIdx
@@ -179,11 +176,11 @@ func (z *ZCache) Install(addr uint64, victim int) []Move {
 		from, to := z.nodes[p].line, z.nodes[cur].line
 		z.addrs[to] = z.addrs[from]
 		z.valid[to] = z.valid[from]
-		z.moves = append(z.moves, Move{From: from, To: to})
+		moves = append(moves, Move{From: from, To: to})
 		cur = p
 	}
 	root := z.nodes[cur].line
 	z.addrs[root] = addr
 	z.valid[root] = true
-	return z.moves
+	return moves
 }

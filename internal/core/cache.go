@@ -90,12 +90,32 @@ type Cache struct {
 
 	candBuf    []Candidate
 	worstBuf   []Candidate
+	candLines  []int             // reused Candidates destination
+	moveBuf    []cachearray.Move // reused Install move list
 	candFilter CandidateFilter
 	freer      cachearray.Freer
 	allCands   bool
 	fullSel    FullSelector
 	worst      futility.WorstTracker
 	refWorst   futility.WorstTracker
+
+	// Hot-path devirtualization. The two rankers every large experiment runs
+	// (§V's coarse timestamps and the exact order-statistic LRU) are pinned
+	// as concrete types so the per-access OnHit call skips interface dispatch
+	// and can inline; other rankers fall back to the interface.
+	coarse *futility.CoarseTS
+	lru    *futility.ExactLRU
+	// fast is non-nil when the decision ranker supports the combined
+	// Futility+Raw candidate query (one tree traversal instead of two).
+	fast futility.FastRanker
+	// refHit/refInsert/refEvict/refMove are bound to the reference ranker's
+	// methods when a separate reference exists, and nil when the decision
+	// ranker doubles as reference — hoisting the sameRef branch out of the
+	// per-access path into a nil check on a prebound func.
+	refHit    func(line, part int, ctx futility.Context)
+	refInsert func(line, part int, ctx futility.Context)
+	refEvict  func(line, part int)
+	refMove   func(from, to, part int)
 }
 
 // New builds a controller from cfg. It panics on inconsistent configuration
@@ -146,6 +166,19 @@ func New(cfg Config) *Cache {
 	c.fullSel, _ = cfg.Scheme.(FullSelector)
 	c.worst, _ = cfg.Ranker.(futility.WorstTracker)
 	c.refWorst, _ = c.ref.(futility.WorstTracker)
+	switch r := cfg.Ranker.(type) {
+	case *futility.CoarseTS:
+		c.coarse = r
+	case *futility.ExactLRU:
+		c.lru = r
+	}
+	c.fast, _ = cfg.Ranker.(futility.FastRanker)
+	if !c.sameRef {
+		c.refHit = c.ref.OnHit
+		c.refInsert = c.ref.OnInsert
+		c.refEvict = c.ref.OnEvict
+		c.refMove = c.ref.OnMove
+	}
 	if c.allCands && (c.fullSel == nil || c.worst == nil) {
 		panic("core: fully-associative arrays need a FullSelector scheme and a WorstTracker ranker")
 	}
@@ -233,19 +266,26 @@ type AccessResult struct {
 // unknown or unused).
 func (c *Cache) Access(addr uint64, part int, nextUse int64) AccessResult {
 	if part < 0 || part >= c.parts {
-		panic(fmt.Sprintf("core: partition %d out of range", part))
+		panicPartRange(part)
 	}
 	c.seq++
 	c.accesses++
 	ctx := futility.Context{Seq: c.seq, NextUse: nextUse}
-	defer c.sampleOccupancy()
 
 	if line := c.array.Lookup(addr); line >= 0 {
 		c.pstats[c.lineOwner[line]].Hits++
-		c.ranker.OnHit(line, c.linePart[line], ctx)
-		if !c.sameRef {
-			c.ref.OnHit(line, c.lineOwner[line], ctx)
+		switch {
+		case c.coarse != nil:
+			c.coarse.OnHit(line, c.linePart[line], ctx)
+		case c.lru != nil:
+			c.lru.OnHit(line, c.linePart[line], ctx)
+		default:
+			c.ranker.OnHit(line, c.linePart[line], ctx)
 		}
+		if c.refHit != nil {
+			c.refHit(line, c.lineOwner[line], ctx)
+		}
+		c.sampleOccupancy()
 		return AccessResult{Hit: true}
 	}
 
@@ -257,7 +297,8 @@ func (c *Cache) Access(addr uint64, part int, nextUse int64) AccessResult {
 		victim = c.freer.FreeLine(addr)
 	}
 	if victim < 0 {
-		cands := c.array.Candidates(addr)
+		cands := c.array.Candidates(addr, c.candLines[:0])
+		c.candLines = cands
 		for _, l := range cands {
 			if _, valid := c.array.AddrOf(l); !valid {
 				victim = l
@@ -286,8 +327,8 @@ func (c *Cache) Access(addr uint64, part int, nextUse int64) AccessResult {
 		ps.Evictions++
 		ps.EvictFutility.Add(ef)
 		c.ranker.OnEvict(victim, dp)
-		if !c.sameRef {
-			c.ref.OnEvict(victim, owner)
+		if c.refEvict != nil {
+			c.refEvict(victim, owner)
 		}
 		c.sizes[dp]--
 		c.owned[owner]--
@@ -299,13 +340,13 @@ func (c *Cache) Access(addr uint64, part int, nextUse int64) AccessResult {
 		c.lineOwner[victim] = -1
 	}
 
-	moves := c.array.Install(addr, victim)
-	for _, m := range moves {
+	c.moveBuf = c.array.Install(addr, victim, c.moveBuf[:0])
+	for _, m := range c.moveBuf {
 		dp := c.linePart[m.From]
 		owner := c.lineOwner[m.From]
 		c.ranker.OnMove(m.From, m.To, dp)
-		if !c.sameRef {
-			c.ref.OnMove(m.From, m.To, owner)
+		if c.refMove != nil {
+			c.refMove(m.From, m.To, owner)
 		}
 		c.linePart[m.To] = dp
 		c.lineOwner[m.To] = owner
@@ -320,8 +361,8 @@ func (c *Cache) Access(addr uint64, part int, nextUse int64) AccessResult {
 	c.linePart[line] = part
 	c.lineOwner[line] = part
 	c.ranker.OnInsert(line, part, ctx)
-	if !c.sameRef {
-		c.ref.OnInsert(line, part, ctx)
+	if c.refInsert != nil {
+		c.refInsert(line, part, ctx)
 	}
 	c.sizes[part]++
 	c.owned[part]++
@@ -333,6 +374,7 @@ func (c *Cache) Access(addr uint64, part int, nextUse int64) AccessResult {
 			c.pstats[p].Deviation.Add(c.sizes[p] - c.targets[p])
 		}
 	}
+	c.sampleOccupancy()
 	return res
 }
 
@@ -342,14 +384,22 @@ func (c *Cache) choose(cands []int, insertPart int) int {
 		return c.chooseFull(insertPart)
 	}
 	c.candBuf = c.candBuf[:0]
-	for _, l := range cands {
-		p := c.linePart[l]
-		c.candBuf = append(c.candBuf, Candidate{
-			Line:     l,
-			Part:     p,
-			Futility: c.ranker.Futility(l, p),
-			Raw:      c.ranker.Raw(l, p),
-		})
+	if fr := c.fast; fr != nil {
+		for _, l := range cands {
+			p := c.linePart[l]
+			f, raw := fr.FutilityRaw(l, p)
+			c.candBuf = append(c.candBuf, Candidate{Line: l, Part: p, Futility: f, Raw: raw})
+		}
+	} else {
+		for _, l := range cands {
+			p := c.linePart[l]
+			c.candBuf = append(c.candBuf, Candidate{
+				Line:     l,
+				Part:     p,
+				Futility: c.ranker.Futility(l, p),
+				Raw:      c.ranker.Raw(l, p),
+			})
+		}
 	}
 	pool := c.candBuf
 	if c.candFilter != nil {
@@ -386,12 +436,15 @@ func (c *Cache) chooseFull(insertPart int) int {
 		if l < 0 {
 			panic("core: WorstTracker disagrees with size accounting")
 		}
-		c.worstBuf = append(c.worstBuf, Candidate{
-			Line:     l,
-			Part:     p,
-			Futility: c.ranker.Futility(l, p),
-			Raw:      c.ranker.Raw(l, p),
-		})
+		var f float64
+		var raw uint64
+		if fr := c.fast; fr != nil {
+			f, raw = fr.FutilityRaw(l, p)
+		} else {
+			f = c.ranker.Futility(l, p)
+			raw = c.ranker.Raw(l, p)
+		}
+		c.worstBuf = append(c.worstBuf, Candidate{Line: l, Part: p, Futility: f, Raw: raw})
 	}
 	if len(c.worstBuf) == 0 {
 		panic("core: full array with no resident lines")
@@ -423,4 +476,13 @@ func (c *Cache) sampleOccupancy() {
 	for p := 0; p < c.parts; p++ {
 		c.pstats[p].occupancySum += uint64(c.sizes[p])
 	}
+}
+
+// panicPartRange keeps the bounds-check failure formatting out of Access:
+// the fmt call would otherwise sit inline on the hottest function in the
+// simulator and force its arguments to escape.
+//
+//go:noinline
+func panicPartRange(part int) {
+	panic("core: " + fmt.Sprintf("partition %d out of range", part))
 }

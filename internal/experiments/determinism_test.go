@@ -2,8 +2,14 @@ package experiments
 
 import (
 	"bytes"
+	"fmt"
 	"runtime"
+	"strings"
 	"testing"
+
+	"fscache/internal/futility"
+	"fscache/internal/sim"
+	"fscache/internal/trace"
 )
 
 // TestParallelForDeterminism is the determinism contract's regression test:
@@ -34,5 +40,70 @@ func TestParallelForDeterminism(t *testing.T) {
 	}
 	if len(seq) == 0 {
 		t.Fatal("Fig2bc printed nothing")
+	}
+}
+
+// TestParallelDeterminismReusedBuffers locks the zero-allocation hot path's
+// determinism: the replacement pipeline now reuses per-cache candidate and
+// move buffers (zcache relocation chains, random-candidate dedup into the
+// caller's slice, skewed-way scratch), so every buffer must be owned by
+// exactly one cache. Cells running concurrently under parallelFor would
+// corrupt each other through any accidentally shared slice; this sweep runs
+// the same grid with 1 and 4 workers and requires byte-identical output.
+// ArrayZ4 and ArraySkew8 exercise the move buffer (relocating arrays),
+// ArrayRandom16 exercises the dedup-into-dst candidate path.
+func TestParallelDeterminismReusedBuffers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("grid run too slow for -short")
+	}
+	scale := tiny()
+	arrays := []ArrayKind{ArrayZ4, ArrayRandom16, ArraySkew8}
+	benches := []string{"mcf", "lbm"}
+
+	render := func(workers int) string {
+		parallelWorkers = workers
+		defer func() { parallelWorkers = 0 }()
+		out := make([]string, len(arrays))
+		parallelFor(len(arrays), func(i int) {
+			arr := arrays[i]
+			traces := make([]*trace.Trace, len(benches))
+			for th, bench := range benches {
+				gen := profileGenerator(scale, bench, seedStream(scale.Seed, "bufdet"+bench), th)
+				l1 := sim.NewL1(scale.L1Lines, 4)
+				traces[th] = sim.BuildL2Trace(gen, l1, scale.TraceLen, 0)
+			}
+			b := Build(CacheSpec{
+				Lines:  scale.PartLines * len(benches),
+				Array:  arr,
+				Rank:   futility.CoarseLRU,
+				Scheme: SchemeFS,
+				Parts:  len(benches),
+				Seed:   seedStream(scale.Seed, "bufdet"+string(arr)),
+			}, FSFeedbackParams{})
+			targets := make([]int, len(benches))
+			for th := range targets {
+				targets[th] = scale.PartLines
+			}
+			b.SetTargets(targets)
+			results := sim.NewMulticore(b.Cache, sim.DefaultTiming(), traces).Run()
+			var sb strings.Builder
+			fmt.Fprintf(&sb, "%s:", arr)
+			for th, r := range results {
+				fmt.Fprintf(&sb, " ipc=%.6f miss=%.6f occ=%.1f",
+					r.IPC(), r.MissRate(), b.Cache.MeanOccupancy(th))
+			}
+			out[i] = sb.String()
+		})
+		return strings.Join(out, "\n")
+	}
+
+	seq := render(1)
+	par := render(4)
+	if seq != par {
+		t.Fatalf("reused-buffer cells depend on scheduling:\n--- 1 worker ---\n%s\n--- 4 workers ---\n%s",
+			seq, par)
+	}
+	if len(seq) == 0 {
+		t.Fatal("sweep produced no output")
 	}
 }

@@ -222,7 +222,7 @@ func Build(spec CacheSpec, fsParams FSFeedbackParams) *Built {
 		b.FSFixed = fs
 		scheme = fs
 	default:
-		panic(fmt.Sprintf("experiments: unknown scheme %q", spec.Scheme))
+		panicf("unknown scheme %q", spec.Scheme)
 	}
 
 	var arr cachearray.Array
@@ -250,7 +250,7 @@ func Build(spec CacheSpec, fsParams FSFeedbackParams) *Built {
 	case ArraySkew8:
 		arr = cachearray.NewSkew(spec.Lines, 8, aseed)
 	default:
-		panic(fmt.Sprintf("experiments: unknown array %q", spec.Array))
+		panicf("unknown array %q", spec.Array)
 	}
 
 	ranker := futility.New(rank, spec.Lines, b.TotalParts, xrand.Mix64(spec.Seed^0x7a17))
@@ -429,4 +429,13 @@ func parallelFor(n int, fn func(i int)) {
 	}
 	close(next)
 	wg.Wait()
+}
+
+// panicf formats a cold-path panic message out of line, keeping fmt calls
+// (and their escaping arguments) out of the callers' bodies — the fslint
+// hotpath rule rejects panic(fmt.Sprintf(...)) inline in simulation code.
+//
+//go:noinline
+func panicf(format string, args ...any) {
+	panic("experiments: " + fmt.Sprintf(format, args...))
 }

@@ -1,0 +1,16 @@
+package futility_test
+
+import (
+	"testing"
+
+	"fscache/internal/perfbench"
+)
+
+// The coarse-timestamp benchmarks live in internal/perfbench (shared with
+// cmd/fsbench); these wrappers keep them reachable through `go test -bench`.
+// Steady-state expectation (DESIGN.md §10): 0 allocs/op on all three —
+// OnHit, the raw distance read and the CDF quantile are pure array work.
+
+func BenchmarkCoarseOnHit(b *testing.B)    { perfbench.CoarseOnHit(b) }
+func BenchmarkCoarseRaw(b *testing.B)      { perfbench.CoarseRaw(b) }
+func BenchmarkCoarseFutility(b *testing.B) { perfbench.CoarseFutility(b) }

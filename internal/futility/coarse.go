@@ -23,8 +23,21 @@ type CoarseTS struct {
 
 	hist  [][]uint32 // per-partition distance histogram (256 bins)
 	total []uint32   // per-partition histogram mass
-	cdf   [][]float64
 	dirty []uint32
+
+	// CDF snapshot state. Instead of eagerly dividing all 256 bins at every
+	// rebuild, rebuild refreshes only the integer cumulative counts from the
+	// lowest bin touched since the last snapshot (dirtyLo) and bumps gen;
+	// the float division for a bin is memoized lazily on first read of that
+	// bin in the current generation. The division uses the same operands as
+	// the old eager rebuild (float64(cum)/float64(total)), so every value a
+	// caller observes is bit-identical.
+	cum       [][]uint64  // per-partition cumulative histogram at snapshot
+	snapTotal []float64   // float64(total) at snapshot (the CDF denominator)
+	cdfVal    [][]float64 // memoized cum[d]/snapTotal for gen == cdfGen[d]
+	cdfGen    [][]uint32
+	gen       []uint32 // current snapshot generation (starts at 1)
+	dirtyLo   []int    // lowest histogram bin modified since last snapshot
 }
 
 // histRebuild is how many histogram updates may accumulate before the
@@ -38,22 +51,35 @@ func NewCoarseTS(lines, parts int) *CoarseTS {
 		panic("futility: lines and parts must be positive")
 	}
 	c := &CoarseTS{
-		ts:      make([]uint8, lines),
-		present: make([]bool, lines),
-		current: make([]uint8, parts),
-		counter: make([]uint64, parts),
-		size:    make([]int, parts),
-		hist:    make([][]uint32, parts),
-		total:   make([]uint32, parts),
-		cdf:     make([][]float64, parts),
-		dirty:   make([]uint32, parts),
+		ts:        make([]uint8, lines),
+		present:   make([]bool, lines),
+		current:   make([]uint8, parts),
+		counter:   make([]uint64, parts),
+		size:      make([]int, parts),
+		hist:      make([][]uint32, parts),
+		total:     make([]uint32, parts),
+		dirty:     make([]uint32, parts),
+		cum:       make([][]uint64, parts),
+		snapTotal: make([]float64, parts),
+		cdfVal:    make([][]float64, parts),
+		cdfGen:    make([][]uint32, parts),
+		gen:       make([]uint32, parts),
+		dirtyLo:   make([]int, parts),
 	}
 	for i := 0; i < parts; i++ {
 		c.hist[i] = make([]uint32, 256)
-		c.cdf[i] = make([]float64, 256)
-		for d := range c.cdf[i] {
-			c.cdf[i][d] = float64(d+1) / 256 // prior: uniform distances
+		c.cum[i] = make([]uint64, 256)
+		c.cdfVal[i] = make([]float64, 256)
+		c.cdfGen[i] = make([]uint32, 256)
+		// Prior: uniform distances, expressed as a synthetic snapshot with
+		// one count per bin so lazy division yields float64(d+1)/256.
+		for d := range c.cum[i] {
+			c.cum[i][d] = uint64(d + 1)
 		}
+		c.snapTotal[i] = 256
+		// gen starts at 1: cdfGen is zero-initialized and must not read as
+		// "already memoized for the current generation".
+		c.gen[i] = 1
 	}
 	return c
 }
@@ -147,7 +173,26 @@ func (c *CoarseTS) Futility(line, part int) float64 {
 	if c.dirty[part] >= histRebuild {
 		c.rebuild(part)
 	}
-	return c.cdf[part][d]
+	return c.cdfAt(part, d)
+}
+
+// FutilityRaw implements FastRanker: the replacement pipeline wants both the
+// quantile and the raw distance for every candidate, and the two separate
+// calls each pay the tsDist + observe work. The sequence below is exactly
+// Futility followed by Raw — including Raw's second histogram observation,
+// which is sealed behaviour the CDF calibration depends on.
+func (c *CoarseTS) FutilityRaw(line, part int) (float64, uint64) {
+	if !c.present[line] {
+		panic("futility: Futility of untracked line")
+	}
+	d := tsDist(c.current[part], c.ts[line])
+	c.observe(part, d)
+	if c.dirty[part] >= histRebuild {
+		c.rebuild(part)
+	}
+	f := c.cdfAt(part, d)
+	c.observe(part, d) // Raw's observation
+	return f, uint64(d)
 }
 
 // Size implements Ranker.
@@ -157,6 +202,9 @@ func (c *CoarseTS) observe(part int, d uint8) {
 	c.hist[part][d]++
 	c.total[part]++
 	c.dirty[part]++
+	if int(d) < c.dirtyLo[part] {
+		c.dirtyLo[part] = int(d)
+	}
 	// Periodic halving keeps the histogram tracking the recent regime.
 	if c.total[part] >= 1<<20 {
 		var t uint32
@@ -165,20 +213,41 @@ func (c *CoarseTS) observe(part int, d uint8) {
 			t += c.hist[part][i]
 		}
 		c.total[part] = t
+		c.dirtyLo[part] = 0 // every bin changed
 	}
 }
 
+// rebuild refreshes the CDF snapshot: cumulative counts are recomputed only
+// from the lowest bin touched since the last snapshot (bins below it kept
+// their prefix sums), and the per-bin float divisions are deferred to cdfAt.
 func (c *CoarseTS) rebuild(part int) {
 	c.dirty[part] = 0
 	if c.total[part] == 0 {
 		return
 	}
-	total := float64(c.total[part])
+	c.snapTotal[part] = float64(c.total[part])
+	lo := c.dirtyLo[part]
 	var cum uint64
-	for d := 0; d < 256; d++ {
-		cum += uint64(c.hist[part][d])
-		c.cdf[part][d] = float64(cum) / total
+	if lo > 0 {
+		cum = c.cum[part][lo-1]
 	}
+	for d := lo; d < 256; d++ {
+		cum += uint64(c.hist[part][d])
+		c.cum[part][d] = cum
+	}
+	c.dirtyLo[part] = 256
+	c.gen[part]++
+}
+
+// cdfAt returns the snapshot CDF at bin d, dividing on first read per
+// generation. The operands match the old eager rebuild exactly, so the
+// result is bit-identical.
+func (c *CoarseTS) cdfAt(part int, d uint8) float64 {
+	if c.cdfGen[part][d] != c.gen[part] {
+		c.cdfVal[part][d] = float64(c.cum[part][d]) / c.snapTotal[part]
+		c.cdfGen[part][d] = c.gen[part]
+	}
+	return c.cdfVal[part][d]
 }
 
 // CurrentTS exposes the partition's current timestamp (for tests and

@@ -1,0 +1,142 @@
+package futility
+
+import (
+	"math"
+	"testing"
+)
+
+// eagerCDF recomputes the CDF the way the pre-optimization code did at every
+// rebuild: a full cumulative pass over the histogram with a float division
+// per bin. The incremental snapshot (suffix refresh from dirtyLo + lazy
+// memoized division) must reproduce these values bit-for-bit.
+func eagerCDF(c *CoarseTS, part int) [256]float64 {
+	var out [256]float64
+	var cum uint64
+	for d := 0; d < 256; d++ {
+		cum += uint64(c.hist[part][d])
+		out[d] = float64(cum) / float64(c.total[part])
+	}
+	return out
+}
+
+func checkCDF(t *testing.T, c *CoarseTS, part int, round string) {
+	t.Helper()
+	want := eagerCDF(c, part)
+	for d := 0; d < 256; d++ {
+		got := c.cdfAt(part, uint8(d))
+		if math.Float64bits(got) != math.Float64bits(want[d]) {
+			t.Fatalf("%s: part %d bin %d: incremental CDF %v != eager %v",
+				round, part, d, got, want[d])
+		}
+	}
+}
+
+// TestCoarseCDFIncrementalMatchesEager drives the incremental CDF snapshot
+// through skewed observation batches — including batches touching only high
+// bins, so the prefix-reuse path (cum[lo-1] carried over) is exercised — and
+// after every rebuild compares all 256 bins against an eager full recompute.
+func TestCoarseCDFIncrementalMatchesEager(t *testing.T) {
+	c := NewCoarseTS(64, 2)
+
+	// Before any observation the prior snapshot must read as the uniform
+	// distribution float64(d+1)/256.
+	for part := 0; part < 2; part++ {
+		for d := 0; d < 256; d++ {
+			want := float64(d+1) / 256
+			if got := c.cdfAt(part, uint8(d)); got != want {
+				t.Fatalf("prior: part %d bin %d: got %v want %v", part, d, got, want)
+			}
+		}
+	}
+
+	rng := uint64(0x9e3779b97f4a7c15)
+	next := func() uint64 {
+		rng ^= rng << 13
+		rng ^= rng >> 7
+		rng ^= rng << 17
+		return rng
+	}
+
+	batches := []struct {
+		name string
+		n    int
+		bin  func() uint8 // distance generator for the batch
+	}{
+		{"full-range", histRebuild + 17, func() uint8 { return uint8(next()) }},
+		{"high-only", histRebuild, func() uint8 { return 192 + uint8(next()%64) }},
+		{"low-only", histRebuild, func() uint8 { return uint8(next() % 8) }},
+		{"single-bin", histRebuild, func() uint8 { return 200 }},
+	}
+	for _, b := range batches {
+		for part := 0; part < 2; part++ {
+			for i := 0; i < b.n; i++ {
+				c.observe(part, b.bin())
+			}
+			// Read a few bins mid-stream: memoized values from the previous
+			// generation must not leak into the next one.
+			_ = c.cdfAt(part, 0)
+			_ = c.cdfAt(part, 200)
+			c.rebuild(part)
+			checkCDF(t, c, part, b.name)
+		}
+	}
+
+	// Push partition 0 through the 1<<20 halving (dirtyLo resets to 0, every
+	// bin changes) and verify the snapshot still matches an eager recompute.
+	// Halving happens inside observe the moment total reaches the threshold,
+	// so it shows up as the mass dropping between consecutive observations.
+	halved := false
+	prev := c.total[0]
+	for i := 0; i < 1<<20+16 && !halved; i++ {
+		c.observe(0, uint8(next()))
+		halved = c.total[0] < prev
+		prev = c.total[0]
+	}
+	if !halved {
+		t.Fatal("halving did not fire")
+	}
+	c.rebuild(0)
+	checkCDF(t, c, 0, "post-halving")
+	// Partition 1 must be untouched by partition 0's halving.
+	checkCDF(t, c, 1, "other-part-after-halving")
+}
+
+// TestCoarseFutilityRawMatchesSequence pins FutilityRaw's sealed semantics:
+// it must behave observably identically to Futility followed by Raw on the
+// same line, including Raw's second histogram observation, on both the
+// returned values and the ranker's internal calibration state.
+func TestCoarseFutilityRawMatchesSequence(t *testing.T) {
+	build := func() *CoarseTS {
+		c := NewCoarseTS(32, 1)
+		for l := 0; l < 32; l++ {
+			c.OnInsert(l, 0, Context{})
+		}
+		// Spread the timestamp tags: hit lines in a pattern while the clock
+		// ticks so distances vary.
+		for i := 0; i < 500; i++ {
+			c.OnHit((i*7)%32, 0, Context{})
+		}
+		return c
+	}
+
+	a, b := build(), build()
+	for i := 0; i < 3*histRebuild; i++ {
+		l := (i * 11) % 32
+		fa := a.Futility(l, 0)
+		ra := a.Raw(l, 0)
+		fb, rb := b.FutilityRaw(l, 0)
+		if math.Float64bits(fa) != math.Float64bits(fb) || ra != rb {
+			t.Fatalf("step %d line %d: Futility+Raw = (%v, %d), FutilityRaw = (%v, %d)",
+				i, l, fa, ra, fb, rb)
+		}
+	}
+	if a.total[0] != b.total[0] || a.dirty[0] != b.dirty[0] {
+		t.Fatalf("calibration state diverged: total %d vs %d, dirty %d vs %d",
+			a.total[0], b.total[0], a.dirty[0], b.dirty[0])
+	}
+	for d := 0; d < 256; d++ {
+		if a.hist[0][d] != b.hist[0][d] {
+			t.Fatalf("histogram bin %d diverged: %d vs %d", d, a.hist[0][d], b.hist[0][d])
+		}
+	}
+}

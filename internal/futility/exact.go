@@ -18,6 +18,11 @@ type ostRanker struct {
 	// across moves, so relocating a line never reorders it among equals.
 	ticket     []uint64
 	nextTicket uint64
+	// fLen caches float64(trees[part].Len()) so the per-candidate futility
+	// normalization skips the int→float conversion. It is the cached
+	// denominator, not a reciprocal: x/float64(M) and x*(1/M) differ in the
+	// last ulp for most M, and futility values must stay bit-identical.
+	fLen []float64
 }
 
 func newOSTRanker(name string, lines, parts int, seed uint64) *ostRanker {
@@ -34,6 +39,7 @@ func newOSTRanker(name string, lines, parts int, seed uint64) *ostRanker {
 		keys:    make([]ost.Key, lines),
 		present: make([]bool, lines),
 		ticket:  make([]uint64, lines),
+		fLen:    make([]float64, parts),
 	}
 }
 
@@ -51,6 +57,7 @@ func (r *ostRanker) set(line, part int, primary uint64) {
 	r.trees[part].Insert(k, int64(line))
 	r.keys[line] = k
 	r.present[line] = true
+	r.fLen[part] = float64(r.trees[part].Len())
 }
 
 // OnEvict implements Ranker.
@@ -60,6 +67,7 @@ func (r *ostRanker) OnEvict(line, part int) {
 	}
 	r.trees[part].Delete(r.keys[line])
 	r.present[line] = false
+	r.fLen[part] = float64(r.trees[part].Len())
 }
 
 // OnMove implements Ranker.
@@ -83,8 +91,9 @@ func (r *ostRanker) OnMove(from, to, part int) {
 	r.present[to] = true
 }
 
-// Futility implements Ranker: ascending rank / partition size.
-func (r *ostRanker) Futility(line, part int) float64 {
+// futilityOf is the single tree traversal behind Futility, Raw and
+// FutilityRaw: ascending rank / partition size.
+func (r *ostRanker) futilityOf(line, part int) float64 {
 	if !r.present[line] {
 		panic("futility: Futility of untracked line")
 	}
@@ -92,13 +101,25 @@ func (r *ostRanker) Futility(line, part int) float64 {
 	if !ok {
 		panic("futility: line key missing from partition tree")
 	}
-	return float64(rank) / float64(r.trees[part].Len())
+	return float64(rank) / r.fLen[part]
+}
+
+// Futility implements Ranker: ascending rank / partition size.
+func (r *ostRanker) Futility(line, part int) float64 {
+	return r.futilityOf(line, part)
 }
 
 // Raw implements Ranker. For exact rankers Raw is the futility scaled to 32
 // bits, so raw ordering matches normalized ordering.
 func (r *ostRanker) Raw(line, part int) uint64 {
-	return uint64(r.Futility(line, part) * (1 << 32))
+	return uint64(r.futilityOf(line, part) * (1 << 32))
+}
+
+// FutilityRaw implements FastRanker with one rank traversal instead of the
+// two that separate Futility and Raw calls would cost.
+func (r *ostRanker) FutilityRaw(line, part int) (float64, uint64) {
+	f := r.futilityOf(line, part)
+	return f, uint64(f * (1 << 32))
 }
 
 // Size implements Ranker.

@@ -47,6 +47,19 @@ type Ranker interface {
 	Size(part int) int
 }
 
+// FastRanker is implemented by rankers that can answer Futility and Raw for
+// the same line in a single combined query. The replacement pipeline ranks
+// every candidate by both measures on every miss; for tree-backed rankers
+// the combined form halves the rank traversals. Implementations must be
+// observably identical (values and internal side effects such as histogram
+// observations) to calling Futility then Raw, in that order.
+type FastRanker interface {
+	Ranker
+	// FutilityRaw returns Futility(line, part) and Raw(line, part) as if the
+	// two were called back to back.
+	FutilityRaw(line, part int) (float64, uint64)
+}
+
 // WorstTracker is implemented by rankers that can report the most useless
 // line of a partition in O(log M); the FullAssoc ideal scheme requires it.
 type WorstTracker interface {

@@ -64,17 +64,24 @@ func Load(dir string, patterns []string) ([]*Unit, error) {
 
 	fset := token.NewFileSet()
 
-	// Export data for every dependency, keyed by import path. Test
-	// variants ("p [q.test]", "q.test") are skipped: units are compiled
-	// against the plain packages.
+	// Export data for every dependency, keyed by import path. Units are
+	// compiled against the plain packages, so plain export data wins; but a
+	// dependency that transitively imports a package under test is listed
+	// ONLY as its test variant ("p [q.test]") when q is the sole pattern —
+	// e.g. perfbench under `fslint ./internal/core/` — so variant export
+	// data (same package, compiled against the augmented deps) fills the
+	// gaps. Synthesized ".test" main packages carry no exports either way.
 	exports := make(map[string]string)
 	for _, p := range pkgs {
-		if p.ForTest != "" || strings.Contains(p.ImportPath, " ") ||
-			strings.HasSuffix(p.ImportPath, ".test") {
+		if strings.HasSuffix(p.ImportPath, ".test") || p.Export == "" {
 			continue
 		}
-		if p.Export != "" {
-			exports[p.ImportPath] = p.Export
+		path := p.ImportPath
+		if i := strings.IndexByte(path, ' '); i >= 0 {
+			path = path[:i]
+		}
+		if _, ok := exports[path]; !ok || p.ForTest == "" && !strings.Contains(p.ImportPath, " ") {
+			exports[path] = p.Export
 		}
 	}
 

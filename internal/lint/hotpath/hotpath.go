@@ -1,0 +1,135 @@
+// Package hotpath implements the fslint analyzer that keeps allocation-heavy
+// formatting out of simulation hot paths.
+//
+// The replacement pipeline (core.Cache.Access and everything it calls) runs
+// hundreds of millions of times per experiment and holds a zero-allocation
+// steady-state contract (DESIGN.md §10). An inline panic(fmt.Sprintf(...))
+// breaks that silently: even on the never-taken branch, the fmt call forces
+// its arguments to escape and inserts an allocation site into the function
+// body the compiler must keep. The convention is to move the formatting into
+// a dedicated cold helper whose name contains "panic" (e.g. panicf,
+// panicPartRange), usually marked //go:noinline.
+//
+// The analyzer flags any fmt formatting call (Sprintf, Sprint, Sprintln,
+// Errorf) appearing inside the argument of a builtin panic() in a simulation
+// package, unless the enclosing function is such a cold helper. False
+// positives can be suppressed with //fslint:ignore hotpath <why>.
+package hotpath
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"fscache/internal/lint/analysis"
+	"fscache/internal/lint/determinism"
+)
+
+// Analyzer enforces the rule over the determinism contract's simulation
+// packages — the same scope, because the same code runs per access.
+var Analyzer = New(determinism.DefaultSimPackages)
+
+// New returns a hotpath analyzer scoped to the given import paths (tests use
+// this to point the analyzer at testdata packages).
+func New(simPackages []string) *analysis.Analyzer {
+	paths := map[string]bool{}
+	for _, p := range simPackages {
+		paths[p] = true
+	}
+	return &analysis.Analyzer{
+		Name: "hotpath",
+		Doc: "forbid inline fmt formatting inside panic() in simulation packages; " +
+			"move it to a cold helper named *panic* (zero-allocation contract, DESIGN.md §10)",
+		Run: func(pass *analysis.Pass) error {
+			pkg := pass.PkgPath
+			if n := len(pkg); n > 5 && pkg[n-5:] == "_test" {
+				pkg = pkg[:n-5]
+			}
+			if !paths[pkg] {
+				return nil
+			}
+			return run(pass)
+		},
+	}
+}
+
+var fmtFormatters = map[string]bool{
+	"fmt.Sprintf":  true,
+	"fmt.Sprint":   true,
+	"fmt.Sprintln": true,
+	"fmt.Errorf":   true,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		name := pass.Fset.Position(f.Pos()).Filename
+		if strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if strings.Contains(strings.ToLower(fd.Name.Name), "panic") {
+				continue // a dedicated cold panic helper formats legitimately
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok || !isBuiltinPanic(pass, call.Fun) || len(call.Args) != 1 {
+					return true
+				}
+				if bad := findFormatter(pass, call.Args[0]); bad != nil {
+					pass.Reportf(bad.Pos(),
+						"inline %s inside panic() in a simulation hot path; move the formatting into a cold *panic* helper",
+						formatterName(pass, bad))
+				}
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+func isBuiltinPanic(pass *analysis.Pass, fun ast.Expr) bool {
+	id, ok := fun.(*ast.Ident)
+	if !ok || id.Name != "panic" {
+		return false
+	}
+	b, ok := pass.TypesInfo.Uses[id].(*types.Builtin)
+	return ok && b.Name() == "panic"
+}
+
+// findFormatter returns the first fmt formatting call nested anywhere in e.
+func findFormatter(pass *analysis.Pass, e ast.Expr) *ast.CallExpr {
+	var bad *ast.CallExpr
+	ast.Inspect(e, func(n ast.Node) bool {
+		if bad != nil {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if formatterName(pass, call) != "" {
+			bad = call
+			return false
+		}
+		return true
+	})
+	return bad
+}
+
+// formatterName returns the qualified name of call's callee when it is one
+// of the fmt formatters, and "" otherwise.
+func formatterName(pass *analysis.Pass, call *ast.CallExpr) string {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || !fmtFormatters[fn.FullName()] {
+		return ""
+	}
+	return fn.FullName()
+}

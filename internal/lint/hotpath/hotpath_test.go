@@ -1,0 +1,15 @@
+package hotpath_test
+
+import (
+	"testing"
+
+	"fscache/internal/lint/analysis/analysistest"
+	"fscache/internal/lint/hotpath"
+)
+
+func Test(t *testing.T) {
+	// Scope the rule to testdata package "hp"; package "free" stays out,
+	// proving non-simulation packages are untouched.
+	a := hotpath.New([]string{"hp"})
+	analysistest.Run(t, "testdata", a, "hp", "free")
+}

@@ -1,0 +1,10 @@
+// Package free is NOT a simulation package: the hotpath rule does not apply.
+package free
+
+import "fmt"
+
+func anything(n int) {
+	if n < 0 {
+		panic(fmt.Sprintf("free: bad n %d", n)) // clean: out of scope
+	}
+}

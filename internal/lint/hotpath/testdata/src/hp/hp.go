@@ -1,0 +1,44 @@
+// Package hp exercises the hotpath analyzer: inline fmt formatting inside
+// panic() is flagged, cold *panic* helpers and non-panic fmt uses are not.
+package hp
+
+import "fmt"
+
+func access(part, parts int) {
+	if part < 0 || part >= parts {
+		panic(fmt.Sprintf("hp: partition %d out of range", part)) // want `inline fmt.Sprintf inside panic\(\)`
+	}
+	if parts == 0 {
+		panic("hp: " + fmt.Sprint(part)) // want `inline fmt.Sprint inside panic\(\)`
+	}
+	if part > 1<<20 {
+		panic(fmt.Errorf("hp: part %d", part)) // want `inline fmt.Errorf inside panic\(\)`
+	}
+}
+
+func constantPanic(ok bool) {
+	if !ok {
+		panic("hp: invariant violated") // clean: no formatting
+	}
+}
+
+// panicf is a cold helper: formatting here is the sanctioned pattern.
+//
+//go:noinline
+func panicf(format string, args ...any) {
+	panic("hp: " + fmt.Sprintf(format, args...))
+}
+
+func panicPartRange(part int) {
+	panic("hp: " + fmt.Sprintf("partition %d out of range", part)) // clean: *panic* helper
+}
+
+func usesHelper(part, parts int) {
+	if part >= parts {
+		panicf("partition %d out of range", part) // clean: call site has no fmt
+	}
+}
+
+func report(n int) string {
+	return fmt.Sprintf("n=%d", n) // clean: fmt outside panic is fine
+}

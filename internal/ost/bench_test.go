@@ -1,0 +1,16 @@
+package ost_test
+
+import (
+	"testing"
+
+	"fscache/internal/perfbench"
+)
+
+// The treap benchmarks live in internal/perfbench (shared with cmd/fsbench);
+// these wrappers keep them reachable through the standard `go test -bench`
+// toolchain. Steady-state expectation (DESIGN.md §10): 0 allocs/op — node
+// recycling must absorb every Insert/Delete pair once the tree is warm.
+
+func BenchmarkTreeInsertDelete(b *testing.B) { perfbench.OSTInsertDelete(b) }
+func BenchmarkTreeRank(b *testing.B)         { perfbench.OSTRank(b) }
+func BenchmarkTreeSelect(b *testing.B)       { perfbench.OSTSelect(b) }

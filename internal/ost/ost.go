@@ -55,6 +55,9 @@ type Tree struct {
 	root *node
 	rng  *xrand.Rand
 	free []*node // recycled nodes to reduce allocation churn in hot loops
+	// path is the reusable explicit parent stack for the iterative
+	// Insert/Delete rebalancing walks (no recursion on the hot path).
+	path []*node
 }
 
 // New returns an empty tree whose heap priorities are drawn from seed.
@@ -81,50 +84,71 @@ func (t *Tree) newNode(key Key, value int64) *node {
 	return n
 }
 
-// split partitions n into (< key, >= key).
-func split(n *node, key Key) (left, right *node) {
-	if n == nil {
-		return nil, nil
-	}
-	if n.key.Less(key) {
-		l, r := split(n.right, key)
-		n.right = l
-		n.update()
-		return n, r
-	}
-	l, r := split(n.left, key)
-	n.left = r
-	n.update()
-	return l, n
-}
-
-// merge joins two treaps where every key in a orders before every key in b.
-func merge(a, b *node) *node {
-	if a == nil {
-		return b
-	}
-	if b == nil {
-		return a
-	}
-	if a.priority > b.priority {
-		a.right = merge(a.right, b)
-		a.update()
-		return a
-	}
-	b.left = merge(a, b.left)
-	b.update()
-	return b
-}
-
 // Insert adds key with an associated value. It panics if the key is already
 // present: futility rankings require unique keys, and a duplicate indicates
 // a bookkeeping bug in the caller.
+//
+// The implementation is iterative (descend with an explicit parent stack,
+// attach, rotate up): a treap with distinct priorities has a unique shape,
+// so this produces exactly the structure the previous split/merge recursion
+// did — with one descent instead of a duplicate-check pass plus a
+// split/merge pass, and no recursive call overhead.
 func (t *Tree) Insert(key Key, value int64) {
-	if t.contains(key) {
-		panic("ost: duplicate key inserted")
+	path := t.path[:0]
+	n := t.root
+	for n != nil {
+		path = append(path, n)
+		switch {
+		case key.Less(n.key):
+			n = n.left
+		case n.key.Less(key):
+			n = n.right
+		default:
+			t.path = path
+			panic("ost: duplicate key inserted")
+		}
 	}
-	l, r := split(t.root, key)
-	t.root = merge(merge(l, t.newNode(key, value)), r)
+	t.path = path
+	nn := t.newNode(key, value)
+	if len(path) == 0 {
+		t.root = nn
+		return
+	}
+	p := path[len(path)-1]
+	if key.Less(p.key) {
+		p.left = nn
+	} else {
+		p.right = nn
+	}
+	// Restore the invariants bottom-up: rotate nn above every ancestor it
+	// outranks (rotations recompute sizes via update); once the heap order
+	// holds, the remaining ancestors just gained one descendant.
+	for i := len(path) - 1; i >= 0; i-- {
+		p := path[i]
+		if nn.priority > p.priority {
+			if p.left == nn {
+				p.left = nn.right
+				nn.right = p
+			} else {
+				p.right = nn.left
+				nn.left = p
+			}
+			p.update()
+			nn.update()
+			if i == 0 {
+				t.root = nn
+			} else if g := path[i-1]; g.left == p {
+				g.left = nn
+			} else {
+				g.right = nn
+			}
+			continue
+		}
+		for j := i; j >= 0; j-- {
+			path[j].size++
+		}
+		return
+	}
 }
 
 func (t *Tree) contains(key Key) bool {
@@ -145,31 +169,73 @@ func (t *Tree) contains(key Key) bool {
 func (t *Tree) Contains(key Key) bool { return t.contains(key) }
 
 // Delete removes key and reports whether it was present.
+//
+// Iterative counterpart of Insert: descend with the parent stack, then rotate
+// the target down past its higher-priority child until it is a leaf, detach
+// and recycle it. Rotating toward the higher-priority child rebuilds the
+// canonical treap of the remaining keys, exactly as merging the two subtrees
+// did.
 func (t *Tree) Delete(key Key) bool {
-	var deleted bool
-	t.root = t.delete(t.root, key, &deleted)
-	return deleted
-}
-
-func (t *Tree) delete(n *node, key Key, deleted *bool) *node {
+	path := t.path[:0]
+	n := t.root
+	for n != nil {
+		if key.Less(n.key) {
+			path = append(path, n)
+			n = n.left
+		} else if n.key.Less(key) {
+			path = append(path, n)
+			n = n.right
+		} else {
+			break
+		}
+	}
+	t.path = path
 	if n == nil {
-		return nil
+		return false
 	}
-	if key.Less(n.key) {
-		n.left = t.delete(n.left, key, deleted)
+	// Every ancestor loses one descendant regardless of how n sinks.
+	for _, a := range path {
+		a.size--
+	}
+	var p *node
+	if len(path) > 0 {
+		p = path[len(path)-1]
+	}
+	for n.left != nil || n.right != nil {
+		var c *node
+		if n.right == nil || (n.left != nil && n.left.priority > n.right.priority) {
+			c = n.left
+			n.left = c.right
+			c.right = n
+		} else {
+			c = n.right
+			n.right = c.left
+			c.left = n
+		}
 		n.update()
-		return n
+		c.update()
+		c.size-- // n is still below c but is about to be removed
+		switch {
+		case p == nil:
+			t.root = c
+		case p.left == n:
+			p.left = c
+		default:
+			p.right = c
+		}
+		p = c
 	}
-	if n.key.Less(key) {
-		n.right = t.delete(n.right, key, deleted)
-		n.update()
-		return n
+	switch {
+	case p == nil:
+		t.root = nil
+	case p.left == n:
+		p.left = nil
+	default:
+		p.right = nil
 	}
-	*deleted = true
-	m := merge(n.left, n.right)
-	n.left, n.right = nil, nil
+	*n = node{}
 	t.free = append(t.free, n)
-	return m
+	return true
 }
 
 // Rank returns the 1-based ascending rank of key (1 = smallest) and whether

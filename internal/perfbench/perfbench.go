@@ -1,0 +1,284 @@
+// Package perfbench is the repository's performance-measurement harness: a
+// registry of named micro- and macro-benchmarks over the hot replacement
+// pipeline (ost tree operations, coarse-timestamp ranking, core.Cache.Access
+// hit/miss paths, whole experiment cells) plus a machine-readable report
+// format (BENCH_<date>.json) that records the repo's performance trajectory.
+//
+// The same benchmark bodies back two consumers:
+//
+//   - `go test -bench` wrappers in internal/ost, internal/futility and
+//     internal/core (so the standard toolchain, -benchmem and profiles all
+//     work), and
+//   - cmd/fsbench, which runs the registry standalone and emits JSON for CI
+//     trend tracking and advisory regression comparison.
+//
+// The steady-state contract (DESIGN.md §10): every benchmark whose name ends
+// in the "0-alloc" marker set below must report 0 allocs/op — the access
+// path may not allocate once caches and trees are warm.
+package perfbench
+
+import (
+	"testing"
+
+	"fscache/internal/cachearray"
+	"fscache/internal/core"
+	"fscache/internal/futility"
+	"fscache/internal/ost"
+	"fscache/internal/trace"
+	"fscache/internal/xrand"
+)
+
+// Benchmark is one registered measurement.
+type Benchmark struct {
+	// Name is the registry id, e.g. "core/access-miss-lru".
+	Name string
+	// Doc is a one-line description.
+	Doc string
+	// PerAccess marks benchmarks whose op is exactly one cache access, so
+	// accesses/sec = 1e9 / (ns/op).
+	PerAccess bool
+	// ZeroAlloc marks benchmarks bound by the steady-state zero-allocation
+	// contract.
+	ZeroAlloc bool
+	// Macro marks whole-experiment benchmarks (skipped by fsbench -quick
+	// unless -macro is set).
+	Macro bool
+	// Fn is the benchmark body.
+	Fn func(b *testing.B)
+}
+
+// benchSeed roots all benchmark pseudo-randomness (fixed: benchmarks replay
+// identical work across runs, so ns/op deltas are real, not workload noise).
+const benchSeed = 0xbe7c4
+
+// Registry returns every registered benchmark, in stable order.
+func Registry() []Benchmark {
+	return []Benchmark{
+		{Name: "ost/insert-delete", Doc: "treap steady-state Insert+Delete pair at 4096 keys",
+			ZeroAlloc: true, Fn: OSTInsertDelete},
+		{Name: "ost/rank", Doc: "treap Rank query at 4096 keys",
+			ZeroAlloc: true, Fn: OSTRank},
+		{Name: "ost/select", Doc: "treap Select query at 4096 keys",
+			ZeroAlloc: true, Fn: OSTSelect},
+		{Name: "coarsets/onhit", Doc: "CoarseTS OnHit (tick + retag)",
+			ZeroAlloc: true, Fn: CoarseOnHit},
+		{Name: "coarsets/raw", Doc: "CoarseTS Raw timestamp distance + histogram observe",
+			ZeroAlloc: true, Fn: CoarseRaw},
+		{Name: "coarsets/futility", Doc: "CoarseTS Futility quantile (empirical CDF position)",
+			ZeroAlloc: true, Fn: CoarseFutility},
+		{Name: "core/access-hit-lru", Doc: "Cache.Access hit path, exact-LRU FS config",
+			PerAccess: true, ZeroAlloc: true, Fn: AccessHitLRU},
+		{Name: "core/access-miss-lru", Doc: "Cache.Access miss path (evict+install), exact-LRU FS config",
+			PerAccess: true, ZeroAlloc: true, Fn: AccessMissLRU},
+		{Name: "core/access-hit-coarse", Doc: "Cache.Access hit path, coarse-TS FS config (§V hardware)",
+			PerAccess: true, ZeroAlloc: true, Fn: AccessHitCoarse},
+		{Name: "core/access-miss-coarse", Doc: "Cache.Access miss path, coarse-TS FS config (§V hardware)",
+			PerAccess: true, ZeroAlloc: true, Fn: AccessMissCoarse},
+	}
+}
+
+// ByName returns the named benchmark.
+func ByName(name string) (Benchmark, bool) {
+	for _, b := range Registry() {
+		if b.Name == name {
+			return b, true
+		}
+	}
+	return Benchmark{}, false
+}
+
+// ---- ost.Tree ----
+
+const treeKeys = 4096
+
+func filledTree(n int) (*ost.Tree, []ost.Key) {
+	t := ost.New(benchSeed)
+	rng := xrand.New(benchSeed ^ 0x7ee)
+	keys := make([]ost.Key, n)
+	for i := range keys {
+		keys[i] = ost.Key{Primary: rng.Uint64(), Tie: uint64(i)}
+		t.Insert(keys[i], int64(i))
+	}
+	return t, keys
+}
+
+// OSTInsertDelete measures a steady-state Insert+Delete pair: the tree stays
+// at treeKeys entries, so recycled nodes keep the pair allocation-free.
+func OSTInsertDelete(b *testing.B) {
+	t, keys := filledTree(treeKeys)
+	rng := xrand.New(benchSeed ^ 0x1d)
+	next := uint64(1) << 40
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		j := int(rng.Uint64() % treeKeys)
+		t.Delete(keys[j])
+		next++
+		keys[j] = ost.Key{Primary: next, Tie: uint64(j)}
+		t.Insert(keys[j], int64(j))
+	}
+}
+
+// OSTRank measures rank queries against a static tree.
+func OSTRank(b *testing.B) {
+	t, keys := filledTree(treeKeys)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := t.Rank(keys[i%treeKeys]); !ok {
+			b.Fatal("key missing")
+		}
+	}
+}
+
+// OSTSelect measures order-statistic selection against a static tree.
+func OSTSelect(b *testing.B) {
+	t, _ := filledTree(treeKeys)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t.Select(i%treeKeys + 1)
+	}
+}
+
+// ---- futility.CoarseTS ----
+
+const coarseLines = 4096
+
+func filledCoarse() *futility.CoarseTS {
+	c := futility.NewCoarseTS(coarseLines, 2)
+	for l := 0; l < coarseLines; l++ {
+		c.OnInsert(l, l&1, futility.Context{Seq: uint64(l)})
+	}
+	return c
+}
+
+// CoarseOnHit measures the hit-path retag (partition tick + timestamp store).
+func CoarseOnHit(b *testing.B) {
+	c := filledCoarse()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l := i % coarseLines
+		c.OnHit(l, l&1, futility.Context{Seq: uint64(i)})
+	}
+}
+
+// CoarseRaw measures the raw 8-bit distance read (plus histogram observe).
+func CoarseRaw(b *testing.B) {
+	c := filledCoarse()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l := i % coarseLines
+		_ = c.Raw(l, l&1)
+	}
+}
+
+// CoarseFutility measures the self-calibrating quantile estimate.
+func CoarseFutility(b *testing.B) {
+	c := filledCoarse()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l := i % coarseLines
+		_ = c.Futility(l, l&1)
+	}
+}
+
+// ---- core.Cache.Access ----
+
+const (
+	cacheLines = 4096
+	cacheParts = 2
+)
+
+// benchCache assembles the acceptance configuration: a 16-way set-associative
+// array under feedback Futility Scaling, ranked by kind.
+func benchCache(kind futility.Kind) *core.Cache {
+	arr := cachearray.NewSetAssoc(cacheLines, 16, cachearray.IndexH3, benchSeed)
+	ranker := futility.New(kind, cacheLines, cacheParts, benchSeed^0x9a)
+	var ref futility.Ranker
+	if rk := futility.Reference(kind); rk != kind {
+		ref = futility.New(rk, cacheLines, cacheParts, benchSeed^0x4ef)
+	}
+	c := core.New(core.Config{
+		Array:     arr,
+		Ranker:    ranker,
+		Reference: ref,
+		Scheme:    core.NewFSFeedback(cacheParts, core.FSFeedbackConfig{}),
+		Parts:     cacheParts,
+	})
+	targets := make([]int, cacheParts)
+	for i := range targets {
+		targets[i] = cacheLines / cacheParts
+	}
+	c.SetTargets(targets)
+	return c
+}
+
+// fillCache drives the cache to steady state: 4× its capacity in distinct
+// insertions so every set is full and the miss path always evicts.
+func fillCache(c *core.Cache) uint64 {
+	addr := uint64(1)
+	for i := 0; i < 4*cacheLines; i++ {
+		c.Access(addr, int(addr)&1, trace.NoNextUse)
+		addr++
+	}
+	return addr
+}
+
+// residentSet fills an empty cache with a small working set that stays
+// resident (512 addrs over 256 sets never approach 16-way capacity), so
+// every subsequent access hits.
+func residentSet(c *core.Cache) []uint64 {
+	addrs := make([]uint64, 512)
+	for i := range addrs {
+		addrs[i] = uint64(i+1) << 8
+		c.Access(addrs[i], i&1, trace.NoNextUse)
+	}
+	return addrs
+}
+
+func accessHit(b *testing.B, kind futility.Kind) {
+	c := benchCache(kind)
+	addrs := residentSet(c)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := c.Access(addrs[i%len(addrs)], i&1, trace.NoNextUse)
+		if !res.Hit {
+			b.Fatal("expected steady-state hit")
+		}
+	}
+}
+
+func accessMiss(b *testing.B, kind futility.Kind) {
+	c := benchCache(kind)
+	addr := fillCache(c)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		addr++
+		res := c.Access(addr, int(addr)&1, trace.NoNextUse)
+		if res.Hit {
+			b.Fatal("expected steady-state miss")
+		}
+	}
+}
+
+// AccessHitLRU measures the hit path with the exact order-statistic LRU
+// ranker (tree delete+insert per hit).
+func AccessHitLRU(b *testing.B) { accessHit(b, futility.LRU) }
+
+// AccessMissLRU measures the miss path with the exact LRU ranker: candidate
+// ranking, FS decision, eviction and install. This is the acceptance
+// benchmark for the zero-allocation replacement pipeline.
+func AccessMissLRU(b *testing.B) { accessMiss(b, futility.LRU) }
+
+// AccessHitCoarse measures the hit path in the paper's hardware
+// configuration (coarse timestamps + exact-LRU reference).
+func AccessHitCoarse(b *testing.B) { accessHit(b, futility.CoarseLRU) }
+
+// AccessMissCoarse measures the miss path in the hardware configuration.
+func AccessMissCoarse(b *testing.B) { accessMiss(b, futility.CoarseLRU) }

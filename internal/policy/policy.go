@@ -76,8 +76,8 @@ func (q QoS) Targets(totalLines int) []int {
 	}
 	need := q.Subjects * q.SubjectLines
 	if need > budget {
-		panic(fmt.Sprintf("policy: %d subjects × %d lines exceed capacity %d",
-			q.Subjects, q.SubjectLines, budget))
+		panicf("%d subjects × %d lines exceed capacity %d",
+			q.Subjects, q.SubjectLines, budget)
 	}
 	out := make([]int, q.Subjects+q.Background)
 	for i := 0; i < q.Subjects; i++ {
@@ -118,4 +118,13 @@ func (s Static) Targets(totalLines int) []int {
 		panic("policy: static targets exceed capacity")
 	}
 	return append([]int(nil), s.Fixed...)
+}
+
+// panicf formats a cold-path panic message out of line, keeping fmt calls
+// (and their escaping arguments) out of the callers' bodies — the fslint
+// hotpath rule rejects panic(fmt.Sprintf(...)) inline in simulation code.
+//
+//go:noinline
+func panicf(format string, args ...any) {
+	panic("policy: " + fmt.Sprintf(format, args...))
 }

@@ -80,11 +80,11 @@ func NewMulticore(cache *core.Cache, timing Timing, traces []*trace.Trace) *Mult
 		panic("sim: no threads")
 	}
 	if cache.Parts() < len(traces) {
-		panic(fmt.Sprintf("sim: cache has %d partitions for %d threads", cache.Parts(), len(traces)))
+		panicf("cache has %d partitions for %d threads", cache.Parts(), len(traces))
 	}
 	for i, tr := range traces {
 		if tr.Len() == 0 {
-			panic(fmt.Sprintf("sim: thread %d has an empty trace", i))
+			panicf("thread %d has an empty trace", i)
 		}
 	}
 	return &Multicore{
@@ -170,7 +170,7 @@ func (m *Multicore) Run() []ThreadResult {
 	for remaining > 0 {
 		if m.stepLimit > 0 {
 			if steps >= m.stepLimit {
-				panic(fmt.Sprintf("sim: step limit %d exceeded with %d first passes unfinished", m.stepLimit, remaining))
+				panicf("step limit %d exceeded with %d first passes unfinished", m.stepLimit, remaining)
 			}
 			steps++
 		}
@@ -240,3 +240,12 @@ func (m *Multicore) Run() []ThreadResult {
 
 // Cache exposes the shared L2 for post-run statistics (AEF, occupancy).
 func (m *Multicore) Cache() *core.Cache { return m.cache }
+
+// panicf formats a cold-path panic message out of line, keeping fmt calls
+// (and their escaping arguments) out of the callers' bodies — the fslint
+// hotpath rule rejects panic(fmt.Sprintf(...)) inline in simulation code.
+//
+//go:noinline
+func panicf(format string, args ...any) {
+	panic("sim: " + fmt.Sprintf(format, args...))
+}
