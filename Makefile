@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test race lint check fmt fuzz smoke bench benchjson
+.PHONY: build test race lint check fmt fuzz smoke bench benchjson cover soak
 
 build:
 	$(GO) build ./...
@@ -10,8 +10,10 @@ build:
 test:
 	$(GO) test ./...
 
+# Full-module race run; -short trims the heavyweight property sweeps so the
+# 10x race-detector slowdown stays tolerable (CI runs this as its own job).
 race:
-	$(GO) test -race ./internal/experiments ./internal/core
+	$(GO) test -race -short ./...
 
 lint:
 	$(GO) vet ./...
@@ -22,9 +24,11 @@ lint:
 fmt:
 	gofmt -w .
 
-# Short fuzz session over the trace decoder (seed corpus + 10s of mutation).
+# Short fuzz sessions (seed corpus + 10s of mutation each): the trace
+# decoder, then the differential oracle over scenario programs.
 fuzz:
 	$(GO) test -run='^$$' -fuzz=FuzzReadFrom -fuzztime=10s ./internal/trace
+	$(GO) test -run='^$$' -fuzz=FuzzAccess -fuzztime=10s ./internal/core
 
 # End-to-end smoke: the full quick-scale sweep must exit 0.
 smoke:
@@ -39,5 +43,18 @@ bench:
 # expected to move the numbers; see DESIGN.md §10.
 benchjson:
 	$(GO) run ./cmd/fsbench -compare "$$(ls BENCH_*.json 2>/dev/null | sort | tail -1)"
+
+# Advisory coverage: writes the merged profile (cover.out) and a per-package
+# summary (cover.txt, also printed). Never fails on a threshold — coverage
+# here is a review signal, not a gate.
+cover:
+	$(GO) test -coverprofile=cover.out -coverpkg=./internal/... ./... | tee cover.txt
+	$(GO) tool cover -func=cover.out | tail -1
+	@echo "per-package summary in cover.txt, full profile in cover.out"
+
+# Long-running differential soak against the naive oracle (Ctrl-C safe; any
+# finding prints a shrunk, replayable reproducer).
+soak:
+	$(GO) run ./cmd/fscheck -duration 10m
 
 check: build lint test race

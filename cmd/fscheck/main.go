@@ -1,0 +1,125 @@
+// Command fscheck soaks the differential verification harness: it
+// generates random scenarios from sequential seeds, runs each in lockstep
+// against the naive oracle (internal/oracle) with invariant audits, and on
+// the first divergence prints the failing seed, the shrunk minimal
+// reproducer and its hex encoding, then exits non-zero. With zero findings
+// it prints throughput statistics and exits 0.
+//
+// Unlike `go test ./internal/difftest` — a fixed seed range sized for CI —
+// fscheck is open-ended: leave it running for hours before a release, or
+// point it at a reported seed or hex reproducer to replay a failure.
+//
+// Examples:
+//
+//	fscheck                         # 10,000 scenarios from seed 0
+//	fscheck -seed 12345 -n 100000   # a different slice of the seed space
+//	fscheck -duration 10m           # time-bounded soak, n ignored
+//	fscheck -replay 00030f...       # replay one hex-encoded scenario
+//	fscheck -selftest               # prove detection via an injected bug
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"fscache/internal/difftest"
+)
+
+func main() {
+	var (
+		seed     = flag.Uint64("seed", 0, "first scenario seed")
+		n        = flag.Uint64("n", 10000, "number of scenarios to run")
+		duration = flag.Duration("duration", 0, "run for this long instead of a fixed count")
+		replay   = flag.String("replay", "", "replay one hex-encoded scenario and exit")
+		selftest = flag.Bool("selftest", false, "inject an off-by-one into the ranker and require detection")
+		verbose  = flag.Bool("v", false, "print every scenario as it runs")
+	)
+	flag.Parse()
+
+	if *replay != "" {
+		s, err := difftest.DecodeHex(*replay)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "fscheck:", err)
+			os.Exit(2)
+		}
+		fmt.Print(s.Describe())
+		if d := difftest.RunScenario(s, difftest.Options{}); d != nil {
+			fmt.Println(d)
+			os.Exit(1)
+		}
+		fmt.Println("fscheck: scenario runs in lockstep, no divergence")
+		return
+	}
+
+	if *selftest {
+		runSelftest()
+		return
+	}
+
+	var opt difftest.Options
+	start := time.Now()
+	deadline := time.Time{}
+	if *duration > 0 {
+		deadline = start.Add(*duration)
+	}
+	ran, accesses := uint64(0), 0
+	for s := *seed; ; s++ {
+		if deadline.IsZero() {
+			if ran >= *n {
+				break
+			}
+		} else if time.Now().After(deadline) {
+			break
+		}
+		sc := difftest.Generate(s)
+		if *verbose {
+			fmt.Printf("seed %d: %v\n", s, sc)
+		}
+		if d := difftest.RunScenario(sc, opt); d != nil {
+			report(s, sc, d, opt)
+			os.Exit(1)
+		}
+		ran++
+		accesses += sc.Accesses()
+	}
+	el := time.Since(start)
+	fmt.Printf("fscheck: %d scenarios (%d accesses) in %v, no divergence (%.0f scenarios/s)\n",
+		ran, accesses, el.Round(time.Millisecond), float64(ran)/el.Seconds())
+}
+
+// report prints everything needed to reproduce a divergence: the seed, the
+// raw divergence, and the shrunk reproducer with its replayable hex form.
+func report(seed uint64, s *difftest.Scenario, d *difftest.Divergence, opt difftest.Options) {
+	fmt.Printf("fscheck: FAILING SEED %d\n%v\n", seed, d)
+	shrunk, sd := difftest.Shrink(s, opt)
+	if sd == nil {
+		fmt.Println("fscheck: shrinking lost the divergence; original scenario:")
+		fmt.Print(s.Describe())
+		fmt.Printf("replay: fscheck -replay %s\n", difftest.EncodeHex(s))
+		return
+	}
+	fmt.Printf("shrunk to %d ops (%d accesses): %v\n", len(shrunk.Ops), shrunk.Accesses(), sd)
+	fmt.Print(shrunk.Describe())
+	fmt.Printf("replay: fscheck -replay %s\n", difftest.EncodeHex(shrunk))
+}
+
+// runSelftest proves the harness detects real defects: with an off-by-one
+// injected into the decision ranker, a seed sweep must diverge quickly.
+func runSelftest() {
+	opt := difftest.Options{WrapRanker: difftest.MutateOffByOne}
+	for s := uint64(0); s < 1000; s++ {
+		sc := difftest.Generate(s)
+		if d := difftest.RunScenario(sc, opt); d != nil {
+			fmt.Printf("fscheck: selftest ok — injected off-by-one caught at seed %d: %v\n", s, d)
+			shrunk, sd := difftest.Shrink(sc, opt)
+			if sd != nil {
+				fmt.Printf("shrunk to %d ops (%d accesses)\n%s", len(shrunk.Ops), shrunk.Accesses(), shrunk.Describe())
+			}
+			return
+		}
+	}
+	fmt.Fprintln(os.Stderr, "fscheck: selftest FAILED — injected bug not detected in 1000 scenarios")
+	os.Exit(1)
+}

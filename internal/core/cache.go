@@ -253,6 +253,10 @@ type AccessResult struct {
 	Hit bool
 	// Evicted reports whether a valid line was evicted.
 	Evicted bool
+	// EvictedLine is the array line index the victim occupied (valid when
+	// Evicted). Differential tests compare it against a reference model to
+	// pin victim identity, not just victim statistics.
+	EvictedLine int
 	// EvictedPart is the owner partition of the evicted line (valid when
 	// Evicted).
 	EvictedPart int
@@ -334,6 +338,7 @@ func (c *Cache) Access(addr uint64, part int, nextUse int64) AccessResult {
 		c.owned[owner]--
 		c.scheme.OnEviction(dp)
 		res.Evicted = true
+		res.EvictedLine = victim
 		res.EvictedPart = owner
 		res.EvictedFutility = ef
 		c.linePart[victim] = -1

@@ -1,0 +1,62 @@
+//go:build ignore
+
+// Generates the FuzzAccess seed corpus under testdata/fuzz/FuzzAccess from
+// the difftest regression corpus: each committed hex scenario becomes one
+// corpus file in `go test fuzz v1` format, so the fuzzer starts from
+// programs already known to reach every array/ranking/scheme combination.
+//
+// Run via `go generate ./internal/core` after regenerating the difftest
+// corpus.
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"fscache/internal/difftest"
+)
+
+func main() {
+	const srcDir = "../difftest/testdata/corpus"
+	const dstDir = "testdata/fuzz/FuzzAccess"
+	entries, err := os.ReadDir(srcDir)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gen_fuzz_corpus:", err)
+		os.Exit(1)
+	}
+	if err := os.RemoveAll(dstDir); err != nil {
+		fmt.Fprintln(os.Stderr, "gen_fuzz_corpus:", err)
+		os.Exit(1)
+	}
+	if err := os.MkdirAll(dstDir, 0o755); err != nil {
+		fmt.Fprintln(os.Stderr, "gen_fuzz_corpus:", err)
+		os.Exit(1)
+	}
+	n := 0
+	for _, e := range entries {
+		if !strings.HasSuffix(e.Name(), ".hex") {
+			continue
+		}
+		raw, err := os.ReadFile(filepath.Join(srcDir, e.Name()))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "gen_fuzz_corpus:", err)
+			os.Exit(1)
+		}
+		s, err := difftest.DecodeHex(string(raw))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "gen_fuzz_corpus: %s: %v\n", e.Name(), err)
+			os.Exit(1)
+		}
+		body := "go test fuzz v1\n[]byte(" + strconv.Quote(string(difftest.ToBytes(s))) + ")\n"
+		name := strings.TrimSuffix(e.Name(), ".hex")
+		if err := os.WriteFile(filepath.Join(dstDir, name), []byte(body), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "gen_fuzz_corpus:", err)
+			os.Exit(1)
+		}
+		n++
+	}
+	fmt.Printf("gen_fuzz_corpus: wrote %d seed inputs to %s\n", n, dstDir)
+}

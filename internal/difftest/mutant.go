@@ -1,0 +1,34 @@
+package difftest
+
+import "fscache/internal/futility"
+
+// offByOne is a deliberately defective decorator for a futility ranker: it
+// reports every line one rank too useless — Futility shifted down by one
+// rank width, Raw bumped by one. It exists to prove the harness end to end:
+// TestInjectedBugCaught wraps the production ranker with it and asserts the
+// differential run catches the defect and shrinks it to a tiny reproducer.
+// It is exactly the class of bug the optimized pipeline could realistically
+// grow (a rank-origin mistake in the order-statistic tree).
+type offByOne struct {
+	futility.Ranker
+}
+
+// MutateOffByOne wraps a ranker with the injected off-by-one defect.
+func MutateOffByOne(r futility.Ranker) futility.Ranker { return &offByOne{r} }
+
+// Futility reports the underlying futility one rank-width too low.
+func (m *offByOne) Futility(line, part int) float64 {
+	return m.Ranker.Futility(line, part) - 1/float64(m.Ranker.Size(part))
+}
+
+// Raw reports the underlying raw measure off by one.
+func (m *offByOne) Raw(line, part int) uint64 {
+	return m.Ranker.Raw(line, part) + 1
+}
+
+// Worst delegates so fully-associative scenarios still run under the
+// mutant; the wrapped production rankers used in those scenarios all track
+// their worst line.
+func (m *offByOne) Worst(part int) int {
+	return m.Ranker.(futility.WorstTracker).Worst(part)
+}

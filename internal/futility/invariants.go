@@ -1,0 +1,111 @@
+package futility
+
+import (
+	"fmt"
+	"math"
+
+	"fscache/internal/ost"
+)
+
+// feqBits is bit-exact float64 equality: the invariants below assert cached
+// values are the very float the live state would produce, not merely close.
+func feqBits(a, b float64) bool {
+	return math.Float64bits(a) == math.Float64bits(b)
+}
+
+// InvariantChecker is implemented by rankers that can audit their internal
+// consistency on demand. The difftest harness and cmd/fscheck call it
+// between scenario steps; a non-nil error means ranker state has drifted
+// from its contract and the simulation's futility values can no longer be
+// trusted.
+type InvariantChecker interface {
+	CheckInvariants() error
+}
+
+// CheckInvariants implements InvariantChecker for the exact tree-backed
+// rankers: every partition tree must satisfy the order-statistic contract
+// (ost.Check), every present line's stored key must be findable in some
+// tree, and the per-partition tree populations must sum to the number of
+// present lines. The cached fLen denominator must also agree with the live
+// tree length, since futility normalization divides by it.
+func (r *ostRanker) CheckInvariants() error {
+	total := 0
+	for p, tr := range r.trees {
+		if err := ost.Check(tr); err != nil {
+			return fmt.Errorf("futility: partition %d tree: %w", p, err)
+		}
+		if got, want := r.fLen[p], float64(tr.Len()); !feqBits(got, want) {
+			return fmt.Errorf("futility: partition %d cached fLen %v != live tree length %v", p, got, want)
+		}
+		total += tr.Len()
+	}
+	present := 0
+	for line, ok := range r.present {
+		if !ok {
+			continue
+		}
+		present++
+		found := false
+		for _, tr := range r.trees {
+			if tr.Contains(r.keys[line]) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return fmt.Errorf("futility: present line %d has key %v in no partition tree", line, r.keys[line])
+		}
+	}
+	if total != present {
+		return fmt.Errorf("futility: tree populations sum to %d, present lines %d", total, present)
+	}
+	return nil
+}
+
+// CheckInvariants implements InvariantChecker for the coarse-timestamp
+// ranker: per-partition histogram mass conservation (total equals the sum
+// of bins), monotone nondecreasing cumulative snapshot with the snapshot
+// denominator equal to the snapshot's final cumulative mass (so the lazily
+// divided CDF is a genuine CDF ending at 1), non-negative sizes summing to
+// the present-line count, and dirtyLo within range.
+func (c *CoarseTS) CheckInvariants() error {
+	sizeSum := 0
+	for p := range c.hist {
+		var mass uint32
+		for _, h := range c.hist[p] {
+			mass += h
+		}
+		if mass != c.total[p] {
+			return fmt.Errorf("futility: partition %d histogram mass %d != total %d", p, mass, c.total[p])
+		}
+		for d := 1; d < 256; d++ {
+			if c.cum[p][d] < c.cum[p][d-1] {
+				return fmt.Errorf("futility: partition %d CDF snapshot decreases at bin %d: %d < %d",
+					p, d, c.cum[p][d], c.cum[p][d-1])
+			}
+		}
+		if got, want := c.snapTotal[p], float64(c.cum[p][255]); !feqBits(got, want) {
+			return fmt.Errorf("futility: partition %d snapshot denominator %v != snapshot mass %v", p, got, want)
+		}
+		if c.snapTotal[p] <= 0 {
+			return fmt.Errorf("futility: partition %d snapshot denominator %v not positive", p, c.snapTotal[p])
+		}
+		if c.size[p] < 0 {
+			return fmt.Errorf("futility: partition %d negative size %d", p, c.size[p])
+		}
+		sizeSum += c.size[p]
+		if lo := c.dirtyLo[p]; lo < 0 || lo > 256 {
+			return fmt.Errorf("futility: partition %d dirtyLo %d out of range", p, lo)
+		}
+	}
+	present := 0
+	for _, ok := range c.present {
+		if ok {
+			present++
+		}
+	}
+	if sizeSum != present {
+		return fmt.Errorf("futility: partition sizes sum to %d, present lines %d", sizeSum, present)
+	}
+	return nil
+}

@@ -43,6 +43,8 @@ var DefaultSimPackages = []string{
 	"fscache/internal/cachearray",
 	"fscache/internal/experiments",
 	"fscache/internal/faultinject",
+	"fscache/internal/oracle",
+	"fscache/internal/difftest",
 }
 
 // Analyzer enforces the contract over DefaultSimPackages.

@@ -26,6 +26,8 @@ func TestDefaultScope(t *testing.T) {
 		"fscache/internal/cachearray":  true,
 		"fscache/internal/experiments": true,
 		"fscache/internal/faultinject": true,
+		"fscache/internal/oracle":      true,
+		"fscache/internal/difftest":    true,
 	}
 	if len(determinism.DefaultSimPackages) != len(want) {
 		t.Fatalf("DefaultSimPackages has %d entries, want %d", len(determinism.DefaultSimPackages), len(want))

@@ -1,0 +1,55 @@
+package ost
+
+import "fmt"
+
+// Check verifies the tree's observable contract against a sorted-slice
+// reference reconstructed from an in-order Walk: keys must come out in
+// strictly ascending order, Len must match the walk, and Rank, Select,
+// Contains, Min and Max must agree with the reference at every position.
+// It is the standalone oracle the difftest and property tests use to pin
+// the order-statistic semantics the futility rankers depend on; structural
+// treap invariants (sizes, priorities) are checked by validate in the
+// package tests.
+func Check(t *Tree) error {
+	var keys []Key
+	var vals []int64
+	t.Walk(func(k Key, v int64) {
+		keys = append(keys, k)
+		vals = append(vals, v)
+	})
+	if len(keys) != t.Len() {
+		return fmt.Errorf("ost: Walk visited %d keys, Len reports %d", len(keys), t.Len())
+	}
+	for i := 1; i < len(keys); i++ {
+		if !keys[i-1].Less(keys[i]) {
+			return fmt.Errorf("ost: walk order violation at %d: %v !< %v", i, keys[i-1], keys[i])
+		}
+	}
+	for i, k := range keys {
+		r, ok := t.Rank(k)
+		if !ok {
+			return fmt.Errorf("ost: Rank reports stored key %v absent", k)
+		}
+		if r != i+1 {
+			return fmt.Errorf("ost: Rank(%v) = %d, sorted reference says %d", k, r, i+1)
+		}
+		if !t.Contains(k) {
+			return fmt.Errorf("ost: Contains(%v) false for stored key", k)
+		}
+		sk, sv := t.Select(i + 1)
+		if sk != k || sv != vals[i] {
+			return fmt.Errorf("ost: Select(%d) = (%v, %d), sorted reference says (%v, %d)",
+				i+1, sk, sv, k, vals[i])
+		}
+	}
+	if len(keys) > 0 {
+		if mk, mv := t.Min(); mk != keys[0] || mv != vals[0] {
+			return fmt.Errorf("ost: Min = (%v, %d), sorted reference says (%v, %d)", mk, mv, keys[0], vals[0])
+		}
+		last := len(keys) - 1
+		if mk, mv := t.Max(); mk != keys[last] || mv != vals[last] {
+			return fmt.Errorf("ost: Max = (%v, %d), sorted reference says (%v, %d)", mk, mv, keys[last], vals[last])
+		}
+	}
+	return nil
+}

@@ -1,0 +1,175 @@
+package ost
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"fscache/internal/xrand"
+)
+
+// fullKey builds a key with an explicit tiebreaker, unlike key() in
+// ost_test.go which leaves ties unused. The futility rankers lean on ties
+// for every duplicate priority (equal LFU frequencies, forced timestamps),
+// so the properties here drive a deliberately tiny primary space where
+// almost every key collides and ordering is decided by the tie alone.
+func fullKey(primary, tie uint64) Key { return Key{Primary: primary, Tie: tie} }
+
+// refModel is the obviously-correct sorted-slice reference the tree is
+// checked against: a slice kept sorted by (Primary, Tie) with linear-time
+// operations.
+type refModel struct {
+	keys []Key
+	vals []int64
+}
+
+func (m *refModel) find(k Key) int {
+	return sort.Search(len(m.keys), func(i int) bool { return !m.keys[i].Less(k) })
+}
+
+func (m *refModel) insert(k Key, v int64) {
+	i := m.find(k)
+	m.keys = append(m.keys, Key{})
+	m.vals = append(m.vals, 0)
+	copy(m.keys[i+1:], m.keys[i:])
+	copy(m.vals[i+1:], m.vals[i:])
+	m.keys[i], m.vals[i] = k, v
+}
+
+func (m *refModel) delete(k Key) bool {
+	i := m.find(k)
+	if i == len(m.keys) || m.keys[i] != k {
+		return false
+	}
+	m.keys = append(m.keys[:i], m.keys[i+1:]...)
+	m.vals = append(m.vals[:i], m.vals[i+1:]...)
+	return true
+}
+
+// TestPropertyDuplicatePrimaries runs a long random op sequence over a key
+// space of 8 primaries × 32 ties, so duplicate priorities dominate and the
+// tie ordering carries the structure. After every op the tree must match
+// the sorted-slice reference exactly — length, full ascending (key, value)
+// sequence, rank/select bijection, min/max — via Check plus an order
+// comparison.
+func TestPropertyDuplicatePrimaries(t *testing.T) {
+	tr := New(0xd1ce)
+	rng := xrand.New(0x0b57)
+	ref := &refModel{}
+	present := map[Key]bool{}
+
+	const ops = 6000
+	for op := 0; op < ops; op++ {
+		k := fullKey(rng.Uint64()%8, rng.Uint64()%32)
+		switch {
+		case !present[k] && rng.Bool(0.6):
+			v := int64(op)
+			tr.Insert(k, v)
+			ref.insert(k, v)
+			present[k] = true
+		case present[k]:
+			if !tr.Delete(k) {
+				t.Fatalf("op %d: Delete(%v) = false, key present", op, k)
+			}
+			ref.delete(k)
+			present[k] = false
+		default:
+			if tr.Delete(k) {
+				t.Fatalf("op %d: Delete(%v) = true, key absent", op, k)
+			}
+		}
+		if tr.Len() != len(ref.keys) {
+			t.Fatalf("op %d: Len = %d, reference %d", op, tr.Len(), len(ref.keys))
+		}
+		if op%61 != 0 && op != ops-1 {
+			continue
+		}
+		if err := Check(tr); err != nil {
+			t.Fatalf("op %d: %v", op, err)
+		}
+		i := 0
+		tr.Walk(func(k Key, v int64) {
+			if k != ref.keys[i] || v != ref.vals[i] {
+				t.Fatalf("op %d: walk position %d = (%v,%d), reference (%v,%d)",
+					op, i, k, v, ref.keys[i], ref.vals[i])
+			}
+			i++
+		})
+	}
+}
+
+// TestPropertyEmptyTreeEdges drains the tree to empty repeatedly and pins
+// the empty-tree contract: zero length, Check passes, Contains and Delete
+// report absence, and Rank of any key reports its would-be insertion rank
+// with ok=false.
+func TestPropertyEmptyTreeEdges(t *testing.T) {
+	tr := New(7)
+	rng := xrand.New(3)
+	for cycle := 0; cycle < 50; cycle++ {
+		n := 1 + rng.Intn(16)
+		keys := make([]Key, 0, n)
+		for i := 0; i < n; i++ {
+			k := fullKey(rng.Uint64()%4, uint64(cycle)<<8|uint64(i))
+			keys = append(keys, k)
+			tr.Insert(k, int64(i))
+		}
+		// Delete in a random order.
+		for _, i := range rng.Perm(n) {
+			if !tr.Delete(keys[i]) {
+				t.Fatalf("cycle %d: Delete(%v) = false", cycle, keys[i])
+			}
+		}
+		if tr.Len() != 0 {
+			t.Fatalf("cycle %d: drained tree has Len %d", cycle, tr.Len())
+		}
+		if err := Check(tr); err != nil {
+			t.Fatalf("cycle %d: empty tree: %v", cycle, err)
+		}
+		probe := fullKey(rng.Uint64()%4, rng.Uint64())
+		if tr.Contains(probe) {
+			t.Fatalf("cycle %d: empty tree Contains(%v)", cycle, probe)
+		}
+		if tr.Delete(probe) {
+			t.Fatalf("cycle %d: empty tree Delete(%v) = true", cycle, probe)
+		}
+		if r, ok := tr.Rank(probe); ok || r != 1 {
+			t.Fatalf("cycle %d: empty tree Rank(%v) = %d,%v, want 1,false", cycle, probe, r, ok)
+		}
+	}
+}
+
+// TestQuickWalkSortedWithTies: for any multiset of (primary, tie) pairs
+// (deduplicated), the tree walks in exact (Primary, Tie) sorted order and
+// passes the full order-statistic audit.
+func TestQuickWalkSortedWithTies(t *testing.T) {
+	f := func(raw []uint16, seed uint64) bool {
+		tr := New(seed)
+		ref := &refModel{}
+		seen := map[Key]bool{}
+		for i, x := range raw {
+			// Squeeze into 4 primaries × 64 ties to force heavy duplication.
+			k := fullKey(uint64(x)%4, uint64(x)%64)
+			if seen[k] {
+				continue
+			}
+			seen[k] = true
+			tr.Insert(k, int64(i))
+			ref.insert(k, int64(i))
+		}
+		if err := Check(tr); err != nil {
+			return false
+		}
+		i := 0
+		good := true
+		tr.Walk(func(k Key, v int64) {
+			if k != ref.keys[i] || v != ref.vals[i] {
+				good = false
+			}
+			i++
+		})
+		return good && i == len(ref.keys)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
