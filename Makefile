@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test race lint check fmt fuzz smoke bench benchjson cover soak
+.PHONY: build test race lint check fmt fuzz smoke bench benchjson cover soak load
 
 build:
 	$(GO) build ./...
@@ -56,5 +56,11 @@ cover:
 # finding prints a shrunk, replayable reproducer).
 soak:
 	$(GO) run ./cmd/fscheck -duration 10m
+
+# Concurrent load against the sharded engine under the race detector:
+# throughput, latency quantiles and per-partition occupancy error
+# (DESIGN.md §12). CI runs the same configuration in its race job.
+load:
+	$(GO) run -race ./cmd/fsload -shards 2 -workers 4 -duration 2s
 
 check: build lint test race

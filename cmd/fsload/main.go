@@ -1,0 +1,210 @@
+// Command fsload is a closed-loop load generator for the sharded concurrent
+// engine (internal/shardcache). It hammers one Engine with free-running
+// worker goroutines for a fixed wall-clock duration while a background
+// rebalancer redistributes per-partition targets, then reports aggregate
+// throughput, per-worker access-latency quantiles and the per-partition
+// occupancy error against the configured targets — the operational health
+// check for the sharded engine, and the -race smoke test CI runs.
+//
+// Unlike the deterministic test driver (shardcache.RunDeterministic), fsload
+// deliberately lets workers share shards and race against the rebalancer:
+// the point is to exercise the engine the way a real concurrent client
+// would. Throughput numbers therefore vary run to run; the occupancy errors
+// should not (the feedback controllers converge regardless of interleaving).
+//
+// Examples:
+//
+//	fsload                                  # 4 shards, 4 workers, 5s
+//	fsload -shards 1 -workers 4             # contention baseline
+//	fsload -shards 2 -workers 4 -duration 2s -seed 7
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"fscache/internal/futility"
+	"fscache/internal/shardcache"
+	"fscache/internal/stats"
+	"fscache/internal/xrand"
+)
+
+// latCap is the latency histogram's full scale: samples are recorded as
+// lat/latCap clamped to [0,1], so quantiles resolve to latCap/latBuckets
+// (~195ns) and anything slower than latCap lands in the top bucket.
+const (
+	latCap     = 100 * time.Microsecond
+	latBuckets = 512
+)
+
+// worker owns its slice of the measurement state: a seeded address stream, an
+// access counter and a latency histogram nothing else touches until the run
+// is over.
+type worker struct {
+	id   int
+	ops  uint64
+	hist *stats.Histogram
+}
+
+func main() {
+	var (
+		shards    = flag.Int("shards", 4, "shard count (power of two)")
+		workers   = flag.Int("workers", 4, "concurrent worker goroutines")
+		duration  = flag.Duration("duration", 5*time.Second, "wall-clock run length")
+		seed      = flag.Uint64("seed", 1, "workload seed (address streams; throughput still varies run to run)")
+		lines     = flag.Int("lines", 4096, "total cache lines (power of two)")
+		ways      = flag.Int("ways", 16, "associativity (power of two)")
+		parts     = flag.Int("parts", 3, "partition count")
+		rebalance = flag.Duration("rebalance", 250*time.Millisecond, "interval between target redistributions")
+	)
+	flag.Parse()
+	if *workers < 1 || *duration <= 0 || *parts < 1 {
+		fail("need -workers >= 1, -duration > 0, -parts >= 1")
+	}
+
+	e := shardcache.New(shardcache.Config{
+		Lines:   *lines,
+		Ways:    *ways,
+		Shards:  *shards,
+		Parts:   *parts,
+		Ranking: futility.CoarseLRU,
+		Seed:    *seed,
+	})
+	// Targets proportional to partition index+1, summing exactly to capacity,
+	// so the occupancy-error report has distinct per-partition setpoints.
+	weights := make([]float64, *parts)
+	for p := range weights {
+		weights[p] = float64(p + 1)
+	}
+	targets := apportionInts(*lines, weights)
+	e.SetTargets(targets)
+
+	fmt.Printf("fsload: %d lines / %d ways / %d shards, %d workers, %d partitions, %v\n",
+		*lines, *ways, *shards, *workers, *parts, *duration)
+
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	ws := make([]*worker, *workers)
+	for i := range ws {
+		ws[i] = &worker{id: i, hist: stats.NewHistogram(latBuckets)}
+	}
+	start := time.Now()
+	for _, w := range ws {
+		wg.Add(1)
+		go func(w *worker) {
+			defer wg.Done()
+			rng := xrand.New(xrand.Mix64(*seed^0xf10ad) ^ xrand.Mix64(uint64(w.id+1)))
+			zipf := xrand.NewZipf(rng, 0.9, 4**lines)
+			for !stop.Load() {
+				part := rng.Intn(*parts)
+				// Mix64-finalized structured keys; see shardcache.BuildSchedule
+				// on H3 null spaces for why raw low-entropy keys are unsafe.
+				addr := xrand.Mix64(uint64(part+1)<<24 + uint64(zipf.Next()))
+				t0 := time.Now()
+				e.Access(addr, part)
+				lat := time.Since(t0)
+				w.hist.Add(float64(lat) / float64(latCap))
+				w.ops++
+			}
+		}(w)
+	}
+	var rebalances int
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		tick := time.NewTicker(*rebalance)
+		defer tick.Stop()
+		for !stop.Load() {
+			<-tick.C
+			e.Rebalance()
+			rebalances++
+		}
+	}()
+
+	time.Sleep(*duration)
+	stop.Store(true)
+	wg.Wait()
+	<-done
+	elapsed := time.Since(start)
+
+	if err := e.CheckInvariants(); err != nil {
+		fail(fmt.Sprintf("engine invariants violated after run: %v", err))
+	}
+
+	var total uint64
+	for _, w := range ws {
+		total += w.ops
+	}
+	fmt.Printf("\n  total: %d accesses in %v (%.2fM acc/s aggregate), %d rebalances\n",
+		total, elapsed.Round(time.Millisecond), float64(total)/elapsed.Seconds()/1e6, rebalances)
+	fmt.Printf("\n  %-8s %12s %10s %10s %10s\n", "worker", "accesses", "p50", "p90", "p99")
+	for _, w := range ws {
+		fmt.Printf("  %-8d %12d %10v %10v %10v\n", w.id, w.ops,
+			latQ(w.hist, 0.5), latQ(w.hist, 0.9), latQ(w.hist, 0.99))
+	}
+
+	snap := e.Snapshot()
+	fmt.Printf("\n  %-10s %8s %10s %10s %8s %10s\n",
+		"partition", "target", "occupancy", "error", "miss", "aef")
+	worst := 0.0
+	for p := 0; p < *parts; p++ {
+		occ := e.MeanOccupancy(p)
+		errFrac := math.Abs(occ-float64(targets[p])) / float64(targets[p])
+		if errFrac > worst {
+			worst = errFrac
+		}
+		fmt.Printf("  %-10d %8d %10.1f %9.1f%% %8.4f %10.4f\n",
+			p, targets[p], occ, 100*errFrac, snap.Parts[p].MissRate(), snap.Parts[p].AEF())
+	}
+	fmt.Printf("\n  worst occupancy error: %.1f%%\n", 100*worst)
+	if snap.Accesses != total {
+		fail(fmt.Sprintf("accounting: engine recorded %d accesses, workers performed %d", snap.Accesses, total))
+	}
+}
+
+// latQ converts a histogram quantile (a fraction of latCap) back to a
+// duration.
+func latQ(h *stats.Histogram, q float64) time.Duration {
+	return time.Duration(h.Quantile(q) * float64(latCap)).Round(10 * time.Nanosecond)
+}
+
+// apportionInts splits total proportionally to weights with largest-remainder
+// rounding, so the result sums exactly to total (the contract SetTargets
+// expects when targets should cover capacity).
+func apportionInts(total int, weights []float64) []int {
+	sum := 0.0
+	for _, w := range weights {
+		sum += w
+	}
+	out := make([]int, len(weights))
+	rem := make([]float64, len(weights))
+	given := 0
+	for i, w := range weights {
+		exact := float64(total) * w / sum
+		out[i] = int(exact)
+		rem[i] = exact - float64(out[i])
+		given += out[i]
+	}
+	for given < total {
+		best := 0
+		for i := 1; i < len(rem); i++ {
+			if rem[i] > rem[best] {
+				best = i
+			}
+		}
+		out[best]++
+		rem[best] = -1
+		given++
+	}
+	return out
+}
+
+func fail(msg string) {
+	fmt.Fprintln(os.Stderr, "fsload:", msg)
+	os.Exit(1)
+}

@@ -62,7 +62,13 @@ func (p *PartStats) MissRate() float64 {
 }
 
 // Cache is the partitioned-cache controller: the paper's three-component
-// cache model wired together. It is not safe for concurrent use.
+// cache model wired together.
+//
+// Cache is not safe for concurrent use: every method, including the
+// read-only StatsSnapshot, must be externally serialized. This is the
+// concurrency boundary of the simulator — internal/shardcache builds a
+// concurrent engine out of single-threaded Caches by giving each shard its
+// own Cache and mutex, never by sharing one Cache across goroutines.
 type Cache struct {
 	array    cachearray.Array
 	ranker   futility.Ranker
@@ -463,6 +469,16 @@ func (c *Cache) chooseFull(insertPart int) int {
 
 // demote moves a resident line to partition to (sizing only; the owner and
 // reference-ranker population are unchanged).
+//
+// The scheme observes the move as symmetric flow: an eviction from `from`
+// AND an insertion into `to`. Algorithm 2's feedback controller balances
+// each partition's per-interval insertion count n_i against its eviction
+// count n_e; reporting only OnEviction(from) (the old behaviour) would let
+// the receiving partition gain lines with no recorded inflow, so its
+// n_i/n_e reading says "draining" while its actual size grows. Today only
+// Vantage demotes and its observers are no-ops, making the fix
+// behaviour-neutral for existing configurations, but the oracle transcribes
+// the symmetric accounting and the difftest corpus locks it.
 func (c *Cache) demote(line, to int) {
 	from := c.linePart[line]
 	if from == to {
@@ -474,7 +490,8 @@ func (c *Cache) demote(line, to int) {
 	c.sizes[to]++
 	c.linePart[line] = to
 	c.pstats[c.lineOwner[line]].Demotions++
-	c.scheme.OnEviction(from) // a demotion drains the partition like an eviction
+	c.scheme.OnEviction(from) // a demotion drains the source like an eviction...
+	c.scheme.OnInsert(to)     // ...and fills the destination like an insertion
 }
 
 func (c *Cache) sampleOccupancy() {

@@ -10,6 +10,7 @@ import (
 	"testing"
 
 	"fscache/internal/oracle"
+	"fscache/internal/trace"
 )
 
 // regenCorpus rewrites testdata/corpus from the deterministic seed sweep.
@@ -78,11 +79,47 @@ func TestDifferentialCoverage(t *testing.T) {
 			t.Errorf("generator never produced ranking %v", r)
 		}
 	}
-	for _, sc := range []oracle.SchemeKind{oracle.Fixed, oracle.Feedback} {
+	for _, sc := range []oracle.SchemeKind{oracle.Fixed, oracle.Feedback, oracle.Vantage} {
 		if schemes[sc] == 0 {
 			t.Errorf("generator never produced scheme %v", sc)
 		}
 	}
+}
+
+// TestVantageScenariosDemote pins the generator's demotion-heavy bias: the
+// Vantage scenarios it produces must actually drive substantial demotion
+// traffic, otherwise the differential harness would never exercise the
+// demotion accounting it is supposed to lock.
+func TestVantageScenariosDemote(t *testing.T) {
+	var demos, forced uint64
+	seen := 0
+	for seed := uint64(0); seen < 50 && seed < 2000; seed++ {
+		s := Generate(seed)
+		if s.Scheme != oracle.Vantage {
+			continue
+		}
+		seen++
+		c, _, _ := buildFast(s, nil)
+		for _, op := range s.Ops {
+			switch op.Kind {
+			case OpResize:
+				c.SetTargets(s.Targets(op.W))
+			case OpAccess:
+				c.Access(uint64(op.K), op.Part, trace.NoNextUse)
+			}
+		}
+		for p := 0; p < c.Parts(); p++ {
+			demos += c.Stats(p).Demotions
+			forced += c.Stats(p).ForcedEvict
+		}
+	}
+	if seen < 50 {
+		t.Fatalf("only %d Vantage scenarios in 2000 seeds", seen)
+	}
+	if demos < 500 {
+		t.Fatalf("50 Vantage scenarios produced only %d demotions; generator bias lost", demos)
+	}
+	t.Logf("50 Vantage scenarios: %d demotions, %d forced evictions", demos, forced)
 }
 
 // TestInjectedBugCaught proves the harness end to end: with a deliberate

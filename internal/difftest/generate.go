@@ -22,7 +22,7 @@ func Generate(seed uint64) *Scenario {
 		Array:        ArrayKind(rng.Intn(int(numArrayKinds))),
 		ArraySeed:    uint8(rng.Uint64()),
 		Ranking:      oracle.Ranking(rng.Intn(3)),
-		Scheme:       oracle.SchemeKind(rng.Intn(2)),
+		Scheme:       oracle.SchemeKind(rng.Intn(3)),
 		Parts:        1 + rng.Intn(4),
 		IntervalCode: uint8(rng.Intn(3)),
 		FeedbackBits: uint8(rng.Intn(4)),
@@ -48,6 +48,18 @@ func Generate(seed uint64) *Scenario {
 	// sharedP is the probability an access lands in the cross-partition
 	// collision range [0, 64) instead of the partition's private set.
 	sharedP := rng.Float64() * 0.3
+
+	// Demotion-heavy bias for Vantage scenarios: give one partition a
+	// minimal target weight but a working set spanning most of the cache,
+	// so it runs far over its allocation, its aperture opens, and demotions
+	// into the unmanaged region dominate the replacement traffic — the
+	// regime the demotion-accounting fix in core.(*Cache).demote is locked
+	// against.
+	if s.Scheme == oracle.Vantage {
+		hot := rng.Intn(s.Parts)
+		s.InitW[hot] = 0
+		span[hot] = lines/2 + rng.Intn(lines)
+	}
 
 	nOps := 64 + rng.Intn(448)
 	zipf := xrand.NewZipf(rng, 0.8, 1<<14)

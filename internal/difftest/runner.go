@@ -64,7 +64,7 @@ func RunScenario(s *Scenario, opt Options) (div *Divergence) {
 	for i, op := range s.Ops {
 		switch op.Kind {
 		case OpResize:
-			t := TargetsFromWeights(op.W, s.Lines())
+			t := s.Targets(op.W)
 			fast.SetTargets(t)
 			ora.SetTargets(t)
 			continue
@@ -123,11 +123,25 @@ func compare(step int, fr core.AccessResult, or oracle.Result, fast *core.Cache,
 			return &Divergence{step, fmt.Sprintf("size[%d]", p), fmt.Sprint(fs), fmt.Sprint(os)}
 		}
 	}
-	fa, oa := alphas.Alphas(), ora.Alphas()
-	for p := range fa {
-		if math.Float64bits(fa[p]) != math.Float64bits(oa[p]) {
-			return &Divergence{step, fmt.Sprintf("alpha[%d]", p),
-				fmt.Sprintf("%v", fa), fmt.Sprintf("%v", oa)}
+	for p := 0; p < fast.Parts(); p++ {
+		st := fast.Stats(p)
+		if st.Demotions != ora.Demotions(p) {
+			return &Divergence{step, fmt.Sprintf("demotions[%d]", p),
+				fmt.Sprint(st.Demotions), fmt.Sprint(ora.Demotions(p))}
+		}
+		if st.ForcedEvict != ora.ForcedEvictions(p) {
+			return &Divergence{step, fmt.Sprintf("forced[%d]", p),
+				fmt.Sprint(st.ForcedEvict), fmt.Sprint(ora.ForcedEvictions(p))}
+		}
+	}
+	// Vantage has no scaling factors; alphas is nil there.
+	if alphas != nil {
+		fa, oa := alphas.Alphas(), ora.Alphas()
+		for p := range fa {
+			if math.Float64bits(fa[p]) != math.Float64bits(oa[p]) {
+				return &Divergence{step, fmt.Sprintf("alpha[%d]", p),
+					fmt.Sprintf("%v", fa), fmt.Sprintf("%v", oa)}
+			}
 		}
 	}
 	return nil

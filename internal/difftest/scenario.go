@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"strings"
 
+	"fscache/internal/baselines"
 	"fscache/internal/cachearray"
 	"fscache/internal/core"
 	"fscache/internal/futility"
@@ -125,6 +126,27 @@ type Scenario struct {
 // Lines returns the cache size in lines.
 func (s *Scenario) Lines() int { return 64 << (s.LinesCode % 3) }
 
+// TotalParts returns the controller's partition count: the application
+// partitions, plus Vantage's unmanaged pseudo-partition.
+func (s *Scenario) TotalParts() int {
+	if s.Scheme == oracle.Vantage {
+		return s.Parts + 1
+	}
+	return s.Parts
+}
+
+// Targets returns the target vector both models install for weights w: the
+// plain weight split over the whole cache for the FS schemes, or — for
+// Vantage — the split over the managed region (90% of the cache, matching
+// the paper's u = 0.10) with a zero target appended for the unmanaged
+// pseudo-partition, the same padding internal/experiments applies.
+func (s *Scenario) Targets(w []uint8) []int {
+	if s.Scheme != oracle.Vantage {
+		return TargetsFromWeights(w, s.Lines())
+	}
+	return append(TargetsFromWeights(w, s.Lines()*9/10), 0)
+}
+
 // Interval returns the feedback interval length.
 func (s *Scenario) Interval() int { return 4 << (s.IntervalCode % 3) }
 
@@ -179,7 +201,7 @@ func (s *Scenario) Describe() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "scenario %s seed-byte=%d interval=%d delta=%v alphamax=%v\n",
 		s, s.ArraySeed, s.Interval(), s.Delta(), s.AlphaMax())
-	fmt.Fprintf(&b, "  initial targets %v (weights %v)\n", TargetsFromWeights(s.InitW, s.Lines()), s.InitW)
+	fmt.Fprintf(&b, "  initial targets %v (weights %v)\n", s.Targets(s.InitW), s.InitW)
 	if s.Scheme == oracle.Fixed {
 		fmt.Fprintf(&b, "  alphas %v\n", s.Alphas())
 	}
@@ -188,7 +210,7 @@ func (s *Scenario) Describe() string {
 		case OpAccess:
 			fmt.Fprintf(&b, "  %3d: access part=%d addr=%d\n", i, op.Part, op.K)
 		case OpResize:
-			fmt.Fprintf(&b, "  %3d: resize targets=%v (weights %v)\n", i, TargetsFromWeights(op.W, s.Lines()), op.W)
+			fmt.Fprintf(&b, "  %3d: resize targets=%v (weights %v)\n", i, s.Targets(op.W), op.W)
 		case OpForceAlpha:
 			fmt.Fprintf(&b, "  %3d: force-alpha part=%d alpha=%v\n", i, op.Part, 1+float64(op.AQ)/2)
 		}
@@ -199,7 +221,9 @@ func (s *Scenario) Describe() string {
 // normalize applies the configuration constraints the model space imposes,
 // so every decoded scenario is runnable: coarse timestamps have no exact
 // futility (the fixed scheme needs one) and no worst-line tracker (the
-// fully-associative fast path needs one).
+// fully-associative fast path needs one), and Vantage decides on exact
+// normalized futility over explicit candidate sets (no coarse ranking, no
+// fully-associative fast path).
 func (s *Scenario) normalize() {
 	if s.Parts < 1 {
 		s.Parts = 1
@@ -209,6 +233,14 @@ func (s *Scenario) normalize() {
 	}
 	if s.Ranking == oracle.CoarseLRU && s.Scheme == oracle.Fixed {
 		s.Scheme = oracle.Feedback
+	}
+	if s.Scheme == oracle.Vantage {
+		if s.Ranking == oracle.CoarseLRU {
+			s.Ranking = oracle.LRU
+		}
+		if s.Array == ArrayFullyAssoc {
+			s.Array = ArraySetAssocXOR
+		}
 	}
 	if s.Ranking == oracle.CoarseLRU && s.Array == ArrayFullyAssoc {
 		s.Ranking = oracle.LRU
@@ -286,7 +318,7 @@ func FromBytes(data []byte) *Scenario {
 		Array:        ArrayKind(int(data[1]) % int(numArrayKinds)),
 		ArraySeed:    data[2],
 		Ranking:      oracle.Ranking(int(data[3]) % 3),
-		Scheme:       oracle.SchemeKind(int(data[4]) % 2),
+		Scheme:       oracle.SchemeKind(int(data[4]) % 3),
 		Parts:        1 + int(data[5])%4,
 		IntervalCode: data[6] % 3,
 		FeedbackBits: data[7] & 3,
@@ -440,29 +472,33 @@ type alphasView interface{ Alphas() []float64 }
 // prove injected bugs are caught).
 func buildFast(s *Scenario, wrap func(futility.Ranker) futility.Ranker) (*core.Cache, alphasView, *core.FSFeedback) {
 	lines := s.Lines()
-	ranker := futility.New(rankerKind(s.Ranking), lines, s.Parts, xrand.Mix64(0x5eed^uint64(s.ArraySeed)))
+	parts := s.TotalParts()
+	ranker := futility.New(rankerKind(s.Ranking), lines, parts, xrand.Mix64(0x5eed^uint64(s.ArraySeed)))
 	if wrap != nil {
 		ranker = wrap(ranker)
 	}
 	var ref futility.Ranker
 	if s.Ranking == oracle.CoarseLRU {
-		ref = futility.NewExactLRU(lines, s.Parts, xrand.Mix64(0x0f5eed^uint64(s.ArraySeed)))
+		ref = futility.NewExactLRU(lines, parts, xrand.Mix64(0x0f5eed^uint64(s.ArraySeed)))
 	}
 	cfg := core.Config{
 		Array:     buildArray(s),
 		Ranker:    ranker,
 		Reference: ref,
-		Parts:     s.Parts,
+		Parts:     parts,
 	}
 	var av alphasView
 	var fb *core.FSFeedback
-	if s.Scheme == oracle.Fixed {
-		fs := core.NewFSFixed(s.Parts)
+	switch s.Scheme {
+	case oracle.Fixed:
+		fs := core.NewFSFixed(parts)
 		fs.SetAlphas(s.Alphas())
 		cfg.Scheme = fs
 		av = fs
-	} else {
-		fb = core.NewFSFeedback(s.Parts, core.FSFeedbackConfig{
+	case oracle.Vantage:
+		cfg.Scheme = baselines.NewVantage(parts, s.Parts, baselines.DefaultVantageConfig())
+	default:
+		fb = core.NewFSFeedback(parts, core.FSFeedbackConfig{
 			Interval: s.Interval(),
 			Delta:    s.Delta(),
 			AlphaMax: s.AlphaMax(),
@@ -471,7 +507,7 @@ func buildFast(s *Scenario, wrap func(futility.Ranker) futility.Ranker) (*core.C
 		av = fb
 	}
 	c := core.New(cfg)
-	c.SetTargets(TargetsFromWeights(s.InitW, lines))
+	c.SetTargets(s.Targets(s.InitW))
 	return c, av, fb
 }
 
@@ -479,18 +515,22 @@ func buildFast(s *Scenario, wrap func(futility.Ranker) futility.Ranker) (*core.C
 func buildOracle(s *Scenario) *oracle.Cache {
 	cfg := oracle.Config{
 		Array:   buildArray(s),
-		Parts:   s.Parts,
+		Parts:   s.TotalParts(),
 		Ranking: s.Ranking,
 		Scheme:  s.Scheme,
 	}
-	if s.Scheme == oracle.Fixed {
+	switch s.Scheme {
+	case oracle.Fixed:
 		cfg.Alphas = s.Alphas()
-	} else {
+	case oracle.Vantage:
+		// The oracle's Vantage defaults are the paper's configuration,
+		// identical to baselines.DefaultVantageConfig.
+	default:
 		cfg.Interval = s.Interval()
 		cfg.Delta = s.Delta()
 		cfg.AlphaMax = s.AlphaMax()
 	}
 	o := oracle.New(cfg)
-	o.SetTargets(TargetsFromWeights(s.InitW, s.Lines()))
+	o.SetTargets(s.Targets(s.InitW))
 	return o
 }

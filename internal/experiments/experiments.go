@@ -417,6 +417,7 @@ func parallelFor(n int, fn func(i int)) {
 	next := make(chan int)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
+		//fslint:ignore determinism cells are independent and individually seeded; results are written to disjoint indices, identical to sequential order
 		go func() {
 			defer wg.Done()
 			for i := range next {

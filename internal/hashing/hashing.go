@@ -112,6 +112,29 @@ func Fold(key uint64, buckets int) uint64 {
 	return out
 }
 
+// ShardOf extracts a shard index from a set index as its top bit-slice:
+// with `sets` total sets split across `shards` shards (both powers of two,
+// shards <= sets), the shard is the high log2(shards) bits of the index.
+// Contiguous equal-sized runs of set indices therefore land on the same
+// shard, which is how internal/shardcache carves one logical set-associative
+// array into independent sub-arrays of sets/shards sets each.
+func ShardOf(setIndex uint64, sets, shards int) uint64 {
+	if sets <= 0 || sets&(sets-1) != 0 {
+		panic("hashing: ShardOf sets must be a positive power of two")
+	}
+	if shards <= 0 || shards&(shards-1) != 0 || shards > sets {
+		panic("hashing: ShardOf shards must be a positive power of two no larger than sets")
+	}
+	if setIndex >= uint64(sets) {
+		panic("hashing: ShardOf set index out of range")
+	}
+	shift := uint(0)
+	for 1<<shift < sets/shards {
+		shift++
+	}
+	return setIndex >> shift
+}
+
 // Mix applies a strong 64-bit finalizer (SplitMix64's mixer) and reduces to
 // [0, buckets) for power-of-two buckets.
 func Mix(key uint64, buckets int) uint64 {

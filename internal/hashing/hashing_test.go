@@ -150,6 +150,51 @@ func TestBadBucketsPanics(t *testing.T) {
 	}
 }
 
+func TestShardOf(t *testing.T) {
+	// 16 sets over 4 shards: the shard is the top two bits, so contiguous
+	// runs of 4 set indices share a shard.
+	for idx := uint64(0); idx < 16; idx++ {
+		if got, want := ShardOf(idx, 16, 4), idx/4; got != want {
+			t.Fatalf("ShardOf(%d, 16, 4) = %d, want %d", idx, got, want)
+		}
+	}
+	// Degenerate splits: one shard maps everything to 0; shards == sets is
+	// the identity.
+	for idx := uint64(0); idx < 8; idx++ {
+		if ShardOf(idx, 8, 1) != 0 {
+			t.Fatal("single shard must map to 0")
+		}
+		if ShardOf(idx, 8, 8) != idx {
+			t.Fatal("shards == sets must be the identity")
+		}
+	}
+	// Every shard receives exactly sets/shards indices.
+	counts := make([]int, 8)
+	for idx := uint64(0); idx < 64; idx++ {
+		counts[ShardOf(idx, 64, 8)]++
+	}
+	for s, c := range counts {
+		if c != 8 {
+			t.Fatalf("shard %d received %d sets, want 8", s, c)
+		}
+	}
+	for _, fn := range []func(){
+		func() { ShardOf(0, 12, 4) },  // sets not a power of two
+		func() { ShardOf(0, 16, 3) },  // shards not a power of two
+		func() { ShardOf(0, 4, 8) },   // more shards than sets
+		func() { ShardOf(16, 16, 4) }, // index out of range
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("invalid ShardOf arguments did not panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
 func TestH3SingleBucket(t *testing.T) {
 	h := NewH3(1, 1)
 	for i := uint64(0); i < 100; i++ {

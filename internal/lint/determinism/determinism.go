@@ -4,13 +4,20 @@
 // Every figure pipeline depends on bit-identical, seed-driven simulation:
 // parallelFor documents that results are identical to sequential order, and
 // internal/xrand exists precisely so math/rand never leaks in. In the
-// packages that make up the simulator this analyzer forbids the three ways
+// packages that make up the simulator this analyzer forbids the four ways
 // that contract silently breaks:
 //
 //   - importing math/rand or math/rand/v2 (use fscache/internal/xrand);
 //   - reading the wall clock via time.Now / time.Since / time.Until
 //     (seeds, not clocks, drive the simulation; CLIs may keep timing code
 //     because package main is never a simulation package);
+//   - starting a goroutine with a go statement. Goroutine interleaving is
+//     scheduler-dependent, so concurrency in a simulation package is only
+//     sound under an explicit protocol argument (disjoint state per worker,
+//     order-independent merge — see experiments.parallelFor and the
+//     shard-ownership protocol in internal/shardcache). Every such site
+//     must carry the argument in a //fslint:ignore determinism <why>
+//     annotation; unannotated go statements are flagged;
 //   - ranging over a map with an order-sensitive body. Map iteration order
 //     is randomized per run, so a body may only perform operations whose
 //     outcome is independent of visit order: writes keyed by the range key,
@@ -45,6 +52,7 @@ var DefaultSimPackages = []string{
 	"fscache/internal/faultinject",
 	"fscache/internal/oracle",
 	"fscache/internal/difftest",
+	"fscache/internal/shardcache",
 }
 
 // Analyzer enforces the contract over DefaultSimPackages.
@@ -103,6 +111,10 @@ func run(pass *analysis.Pass) error {
 				switch n := n.(type) {
 				case *ast.CallExpr:
 					c.checkTimeCall(n)
+				case *ast.GoStmt:
+					c.pass.Reportf(n.Pos(),
+						"go statement in simulation package; goroutine interleaving is scheduler-dependent — "+
+							"document the order-independence protocol with //fslint:ignore determinism <why>")
 				case *ast.RangeStmt:
 					c.checkRange(n)
 				}

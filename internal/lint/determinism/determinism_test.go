@@ -28,6 +28,7 @@ func TestDefaultScope(t *testing.T) {
 		"fscache/internal/faultinject": true,
 		"fscache/internal/oracle":      true,
 		"fscache/internal/difftest":    true,
+		"fscache/internal/shardcache":  true,
 	}
 	if len(determinism.DefaultSimPackages) != len(want) {
 		t.Fatalf("DefaultSimPackages has %d entries, want %d", len(determinism.DefaultSimPackages), len(want))

@@ -83,3 +83,17 @@ func suppressed(m map[string]int) {
 		helper(k)
 	}
 }
+
+func spawns(done chan struct{}) {
+	go helper("x") // want `go statement in simulation package`
+	go func() {    // want `go statement in simulation package`
+		close(done)
+	}()
+}
+
+func spawnSuppressed(done chan struct{}) {
+	//fslint:ignore determinism worker owns disjoint state; merge is order-independent
+	go func() {
+		close(done)
+	}()
+}

@@ -92,8 +92,25 @@ func (p *Profiler) Histogram() []uint64 {
 	return append([]uint64(nil), p.hist...)
 }
 
+// MaxDepth returns the largest stack distance the profiler resolves.
+// References reused at greater distances were folded into cold misses.
+func (p *Profiler) MaxDepth() int { return p.maxDepth }
+
+// Truncated reports whether MissRatio(lines) is saturated by the profiled
+// depth: for lines > MaxDepth() the profiler cannot credit hits beyond the
+// recorded histogram, so the returned ratio is the MaxDepth() value — an
+// upper bound on the true miss ratio, not the exact one.
+func (p *Profiler) Truncated(lines int) bool { return lines > p.maxDepth }
+
 // MissRatio returns the exact miss ratio of a fully-associative LRU cache
 // with `lines` lines over the recorded stream.
+//
+// The result saturates at the profiled depth: for lines ≥ MaxDepth() it is
+// the miss ratio at exactly MaxDepth() lines, which *overstates* the true
+// miss ratio of a larger cache whenever reuses occurred beyond that depth.
+// Callers comparing against caches larger than the profiled depth must
+// check Truncated(lines) and either deepen the profiler or treat the value
+// as "≥ MaxDepth()" semantics.
 func (p *Profiler) MissRatio(lines int) float64 {
 	if p.total == 0 {
 		return 0
@@ -112,7 +129,9 @@ func (p *Profiler) MissRatio(lines int) float64 {
 	return float64(p.total-hits) / float64(p.total)
 }
 
-// Curve returns miss ratios at each requested cache size.
+// Curve returns miss ratios at each requested cache size. Sizes beyond
+// MaxDepth() saturate to the MaxDepth() miss ratio (see MissRatio); use
+// Truncated to detect which points are affected.
 func (p *Profiler) Curve(sizes []int) []float64 {
 	out := make([]float64, len(sizes))
 	for i, s := range sizes {

@@ -149,6 +149,44 @@ func TestCurve(t *testing.T) {
 	}
 }
 
+// Sizes beyond the profiled depth saturate: MissRatio must return the
+// MaxDepth value (an overstatement of the true miss ratio) and Truncated
+// must flag exactly those sizes.
+func TestTruncationSurfaced(t *testing.T) {
+	const depth = 8
+	p := New(depth, 23)
+	// A cyclic scan over 16 lines: every reuse is at stack distance 16,
+	// beyond the profiled depth, so the profiler folds all of them into
+	// cold misses even though a 16-line LRU cache would hit every reuse.
+	for rep := 0; rep < 4; rep++ {
+		for a := uint64(0); a < 16; a++ {
+			p.Touch(a)
+		}
+	}
+	if p.MaxDepth() != depth {
+		t.Fatalf("MaxDepth = %d, want %d", p.MaxDepth(), depth)
+	}
+	atDepth := p.MissRatio(depth)
+	for _, lines := range []int{depth + 1, 16, 1 << 20} {
+		if !p.Truncated(lines) {
+			t.Errorf("Truncated(%d) = false, want true", lines)
+		}
+		if got := p.MissRatio(lines); got != atDepth {
+			t.Errorf("MissRatio(%d) = %v, want saturated value %v", lines, got, atDepth)
+		}
+	}
+	for _, lines := range []int{0, 1, depth} {
+		if p.Truncated(lines) {
+			t.Errorf("Truncated(%d) = true, want false", lines)
+		}
+	}
+	// The saturated value genuinely overstates the true miss ratio here: a
+	// 16-line cache would only take 16 compulsory misses in 64 accesses.
+	if atDepth != 1 {
+		t.Fatalf("cyclic scan beyond depth should profile as all misses, got %v", atDepth)
+	}
+}
+
 func TestValidation(t *testing.T) {
 	defer func() {
 		if recover() == nil {

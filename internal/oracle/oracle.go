@@ -21,6 +21,10 @@
 //   - the feedback controller is Algorithm 2 transcribed: insertion and
 //     eviction counters per partition, scale up by Δα when oversized and
 //     growing, down when undersized and shrinking, clamped to [1, AlphaMax];
+//   - the Vantage baseline (§VII-B) is transcribed candidate by candidate:
+//     apertures recomputed from live sizes, demotions into the unmanaged
+//     pseudo-partition applied before the victim's eviction futility is
+//     measured, owner and decision partitions tracked separately;
 //   - no state is shared with the system under test and no buffer is reused
 //     across accesses.
 //
@@ -85,14 +89,26 @@ const (
 	// Feedback is §V: victim = argmax α_i·raw, with α driven by the
 	// feedback controller of Algorithm 2.
 	Feedback
+	// Vantage is the aperture-based baseline (§VII-B): oversized partitions
+	// demote their most useless lines into an unmanaged pseudo-partition
+	// (always index Parts-1 here), evictions normally come from that region,
+	// and a candidate set with no unmanaged line forces a managed eviction.
+	// It is the one scheme that exercises demotions, so it locks the
+	// controller's demotion accounting (symmetric insert/evict flow, owner
+	// vs decision partition, fresh ranking state on demote).
+	Vantage
 )
 
 // String implements fmt.Stringer.
 func (s SchemeKind) String() string {
-	if s == Fixed {
+	switch s {
+	case Fixed:
 		return "fs-fixed"
+	case Vantage:
+		return "vantage"
+	default:
+		return "fs"
 	}
-	return "fs"
 }
 
 // Config assembles an oracle cache.
@@ -115,6 +131,12 @@ type Config struct {
 	Delta float64
 	// AlphaMax caps feedback scaling factors (Feedback only; default 128).
 	AlphaMax float64
+	// VantageMaxAperture is A_max (Vantage only; default 0.5, the paper's
+	// §VII-B configuration).
+	VantageMaxAperture float64
+	// VantageSlack sets where the aperture saturates (Vantage only; default
+	// 0.1): A reaches A_max at (1+Slack)× target.
+	VantageSlack float64
 }
 
 // Result reports what one access did, mirroring core.AccessResult.
@@ -135,8 +157,12 @@ type Cache struct {
 	kind   Ranking
 	scheme SchemeKind
 
-	// Per-line state; part < 0 marks an untracked line.
+	// Per-line state; part < 0 marks an untracked line. part is the decision
+	// partition a line counts against for sizing; owner is the partition
+	// whose access inserted it. They differ only after a Vantage demotion,
+	// mirroring core.Cache's linePart/lineOwner split.
 	part    []int
+	owner   []int
 	lastSeq []uint64
 	freq    []uint64
 	ticket  []uint64
@@ -157,10 +183,16 @@ type Cache struct {
 	delta    float64
 	alphaMax float64
 
+	// Vantage state: the unmanaged pseudo-partition index (-1 for other
+	// schemes) and the aperture parameters.
+	unmanaged    int
+	vMaxAperture float64
+	vSlack       float64
+
 	sizes   []int
 	targets []int
 
-	hits, misses, insertions, evictions []uint64
+	hits, misses, insertions, evictions, demotions, forced []uint64
 }
 
 // New builds an oracle cache. It panics on inconsistent configuration, like
@@ -175,6 +207,14 @@ func New(cfg Config) *Cache {
 	if cfg.Ranking == CoarseLRU && cfg.Scheme == Fixed {
 		panic("oracle: coarse ranking is only modelled under the feedback scheme")
 	}
+	if cfg.Scheme == Vantage {
+		if cfg.Parts < 2 {
+			panic("oracle: Vantage needs an application partition and the unmanaged one")
+		}
+		if cfg.Ranking == CoarseLRU {
+			panic("oracle: Vantage decides on exact normalized futility")
+		}
+	}
 	n := cfg.Array.Lines()
 	o := &Cache{
 		arr:        cfg.Array,
@@ -182,6 +222,7 @@ func New(cfg Config) *Cache {
 		kind:       cfg.Ranking,
 		scheme:     cfg.Scheme,
 		part:       make([]int, n),
+		owner:      make([]int, n),
 		lastSeq:    make([]uint64, n),
 		freq:       make([]uint64, n),
 		ticket:     make([]uint64, n),
@@ -201,9 +242,13 @@ func New(cfg Config) *Cache {
 		misses:     make([]uint64, cfg.Parts),
 		insertions: make([]uint64, cfg.Parts),
 		evictions:  make([]uint64, cfg.Parts),
+		demotions:  make([]uint64, cfg.Parts),
+		forced:     make([]uint64, cfg.Parts),
+		unmanaged:  -1,
 	}
 	for i := range o.part {
 		o.part[i] = -1
+		o.owner[i] = -1
 	}
 	for i := range o.alphas {
 		o.alphas[i] = 1
@@ -233,12 +278,29 @@ func New(cfg Config) *Cache {
 			panic("oracle: invalid feedback configuration")
 		}
 	}
+	if cfg.Scheme == Vantage {
+		o.unmanaged = cfg.Parts - 1
+		o.vMaxAperture = cfg.VantageMaxAperture
+		o.vSlack = cfg.VantageSlack
+		if o.vMaxAperture == 0 { //fslint:ignore floateq zero is the "unset" sentinel, never a computed value
+			o.vMaxAperture = 0.5
+		}
+		if o.vSlack == 0 { //fslint:ignore floateq zero is the "unset" sentinel, never a computed value
+			o.vSlack = 0.1
+		}
+		if o.vMaxAperture <= 0 || o.vMaxAperture > 1 || o.vSlack <= 0 {
+			panic("oracle: invalid Vantage configuration")
+		}
+	}
 	o.freer, _ = cfg.Array.(cachearray.Freer)
 	if ac, ok := cfg.Array.(cachearray.AllCandidates); ok {
 		o.full = ac.AllLinesAreCandidates()
 	}
 	if o.full && cfg.Ranking == CoarseLRU {
 		panic("oracle: fully-associative arrays need an exact ranking")
+	}
+	if o.full && cfg.Scheme == Vantage {
+		panic("oracle: Vantage is not modelled on fully-associative arrays")
 	}
 	return o
 }
@@ -293,6 +355,14 @@ func (o *Cache) Insertions(part int) uint64 { return o.insertions[part] }
 // Evictions returns the partition's eviction count.
 func (o *Cache) Evictions(part int) uint64 { return o.evictions[part] }
 
+// Demotions returns the partition's demotion count, keyed by the demoted
+// line's owner partition (mirroring core.PartStats.Demotions).
+func (o *Cache) Demotions(part int) uint64 { return o.demotions[part] }
+
+// ForcedEvictions returns the partition's forced-eviction count (Vantage's
+// isolation breaches), keyed by the victim's owner partition.
+func (o *Cache) ForcedEvictions(part int) uint64 { return o.forced[part] }
+
 // Access performs one cache access for partition part.
 func (o *Cache) Access(addr uint64, part int) Result {
 	if part < 0 || part >= o.parts {
@@ -300,9 +370,10 @@ func (o *Cache) Access(addr uint64, part int) Result {
 	}
 	o.seq++
 	if line := o.arr.Lookup(addr); line >= 0 {
-		p := o.part[line]
-		o.hits[p]++
-		o.touch(line, p)
+		// Hits count against the owner; futility state updates in the
+		// decision partition (they differ only after a demotion).
+		o.hits[o.owner[line]]++
+		o.touch(line, o.part[line])
 		return Result{Hit: true}
 	}
 	o.misses[part]++
@@ -327,8 +398,13 @@ func (o *Cache) Access(addr uint64, part int) Result {
 
 	if _, valid := o.arr.AddrOf(victim); valid {
 		vp := o.part[victim]
+		ow := o.owner[victim]
+		// Eviction futility is measured in the decision partition after any
+		// demotions this access applied (the controller's reference ranker
+		// doubles as decision ranker on the configurations the oracle
+		// models); the eviction is charged to the owner.
 		ef := o.referenceFutility(victim, vp)
-		o.evictions[vp]++
+		o.evictions[ow]++
 		if o.kind == CoarseLRU {
 			o.rankSize[vp]--
 		}
@@ -336,18 +412,21 @@ func (o *Cache) Access(addr uint64, part int) Result {
 		o.onEviction(vp)
 		res.Evicted = true
 		res.EvictedLine = victim
-		res.EvictedPart = vp
+		res.EvictedPart = ow
 		res.EvictedFutility = ef
 		o.part[victim] = -1
+		o.owner[victim] = -1
 	}
 
 	for _, m := range o.arr.Install(addr, victim, nil) {
 		o.part[m.To] = o.part[m.From]
+		o.owner[m.To] = o.owner[m.From]
 		o.lastSeq[m.To] = o.lastSeq[m.From]
 		o.freq[m.To] = o.freq[m.From]
 		o.ticket[m.To] = o.ticket[m.From]
 		o.tag[m.To] = o.tag[m.From]
 		o.part[m.From] = -1
+		o.owner[m.From] = -1
 	}
 
 	line := o.arr.Lookup(addr)
@@ -355,6 +434,7 @@ func (o *Cache) Access(addr uint64, part int) Result {
 		panic("oracle: address not resident after Install")
 	}
 	o.part[line] = part
+	o.owner[line] = part
 	o.insertLine(line, part)
 	o.sizes[part]++
 	o.insertions[part]++
@@ -411,8 +491,12 @@ func (o *Cache) insertLine(line, part int) {
 
 // choose evaluates every candidate from scratch and returns the victim line
 // with the largest scaled futility (first index wins ties), exactly the
-// selection rule of FSFixed.Decide / FSFeedback.Decide.
+// selection rule of FSFixed.Decide / FSFeedback.Decide. Vantage dispatches
+// to its own aperture-based selection, which also applies demotions.
 func (o *Cache) choose(cands []int, insertPart int) int {
+	if o.scheme == Vantage {
+		return o.chooseVantage(cands)
+	}
 	if o.full {
 		return o.chooseFull()
 	}
@@ -424,6 +508,120 @@ func (o *Cache) choose(cands []int, insertPart int) int {
 		}
 	}
 	return cands[best]
+}
+
+// aperture is Vantage's A_p for a managed partition: zero at or below
+// target, growing linearly to A_max at (1+Slack)× target; partitions with
+// no allocation are fully open. Transcribed from baselines.Vantage.aperture
+// with the identical float expressions.
+func (o *Cache) aperture(part int) float64 {
+	t := o.targets[part]
+	if t <= 0 {
+		return o.vMaxAperture
+	}
+	over := float64(o.sizes[part]-t) / (o.vSlack * float64(t))
+	if over <= 0 {
+		return 0
+	}
+	if over >= 1 {
+		return o.vMaxAperture
+	}
+	return o.vMaxAperture * over
+}
+
+// chooseVantage transcribes baselines.Vantage.Decide the slow way: all
+// candidate futilities are evaluated up front (the controller snapshots
+// them into its candidate buffer before any demotion moves a line), then
+// the decision applies — evict the most useless unmanaged candidate and
+// demote everything within aperture; with no unmanaged candidate evict the
+// most useless demotable line and demote the rest; with neither, a forced
+// managed eviction. Demotions happen here, before the caller measures the
+// victim's eviction futility, exactly as the controller's choose() does.
+func (o *Cache) chooseVantage(cands []int) int {
+	futs := make([]float64, len(cands))
+	for i, l := range cands {
+		futs[i] = o.futility(l, o.part[l])
+	}
+	var demote []int
+	bestUn, bestUnF := -1, -1.0
+	bestDem, bestDemF := -1, -1.0
+	for i, l := range cands {
+		p := o.part[l]
+		if p == o.unmanaged {
+			if futs[i] > bestUnF {
+				bestUnF = futs[i]
+				bestUn = i
+			}
+			continue
+		}
+		if a := o.aperture(p); a > 0 && futs[i] >= 1-a {
+			demote = append(demote, i)
+			if futs[i] > bestDemF {
+				bestDemF = futs[i]
+				bestDem = i
+			}
+		}
+	}
+	victim := -1
+	forced := false
+	switch {
+	case bestUn >= 0:
+		victim = bestUn
+	case bestDem >= 0:
+		victim = bestDem
+		keep := demote[:0]
+		for _, di := range demote {
+			if di != bestDem {
+				keep = append(keep, di)
+			}
+		}
+		demote = keep
+	default:
+		best, bestF := 0, -1.0
+		for i := range futs {
+			if futs[i] > bestF {
+				bestF = futs[i]
+				best = i
+			}
+		}
+		victim = best
+		forced = true
+		demote = nil
+	}
+	for _, di := range demote {
+		o.demote(cands[di], o.unmanaged)
+	}
+	if forced {
+		o.forced[o.owner[cands[victim]]]++
+	}
+	return cands[victim]
+}
+
+// demote mirrors core.(*Cache).demote: the line moves to the unmanaged
+// partition for sizing and decisions but keeps its owner for statistics,
+// and it re-enters the ranking as a fresh insertion at the current sequence
+// number — new ticket, lastSeq = seq, and (for LFU) frequency reset to 1,
+// exactly what the production ranker's OnEvict+OnInsert pair does. The
+// scheme observes symmetric flow (an eviction from the source and an
+// insertion into the destination); for Vantage both observers are no-ops,
+// but the calls keep the transcription aligned with the controller.
+func (o *Cache) demote(line, to int) {
+	from := o.part[line]
+	if from == to {
+		return
+	}
+	o.nextTicket++
+	o.ticket[line] = o.nextTicket
+	o.lastSeq[line] = o.seq
+	if o.kind == LFU {
+		o.freq[line] = 1
+	}
+	o.sizes[from]--
+	o.sizes[to]++
+	o.part[line] = to
+	o.demotions[o.owner[line]]++
+	o.onEviction(from)
+	o.onInsert(to)
 }
 
 // chooseFull mirrors the controller's fully-associative fast path: one
@@ -494,7 +692,10 @@ func (o *Cache) referenceFutility(line, part int) float64 {
 // lruScan computes exact LRU futility: among the partition's M resident
 // lines, the r-th most recently used has futility r/M with r counted from
 // the most recent — equivalently, r is the number of lines at least as
-// recent as the queried one.
+// recent as the queried one. Equal sequence numbers (possible only when
+// several lines were demoted by one access) break by ascending insertion
+// ticket, the same stable tiebreak the production ranker's tree keys
+// encode.
 func (o *Cache) lruScan(line, part int) float64 {
 	rank, m := 0, 0
 	for l, p := range o.part {
@@ -502,7 +703,8 @@ func (o *Cache) lruScan(line, part int) float64 {
 			continue
 		}
 		m++
-		if o.lastSeq[l] >= o.lastSeq[line] {
+		if o.lastSeq[l] > o.lastSeq[line] ||
+			(o.lastSeq[l] == o.lastSeq[line] && o.ticket[l] <= o.ticket[line]) {
 			rank++
 		}
 	}
@@ -620,11 +822,20 @@ func (o *Cache) CheckInvariants() error {
 			if o.part[l] != -1 {
 				return fmt.Errorf("oracle: invalid line %d assigned to partition %d", l, o.part[l])
 			}
+			if o.owner[l] != -1 {
+				return fmt.Errorf("oracle: invalid line %d owned by partition %d", l, o.owner[l])
+			}
 			continue
 		}
 		valid++
 		if o.part[l] < 0 || o.part[l] >= o.parts {
 			return fmt.Errorf("oracle: resident line %d has out-of-range partition %d", l, o.part[l])
+		}
+		if o.owner[l] < 0 || o.owner[l] >= o.parts {
+			return fmt.Errorf("oracle: resident line %d has out-of-range owner %d", l, o.owner[l])
+		}
+		if o.scheme != Vantage && o.owner[l] != o.part[l] {
+			return fmt.Errorf("oracle: line %d owner %d != partition %d without demotions", l, o.owner[l], o.part[l])
 		}
 		counts[o.part[l]]++
 	}

@@ -74,6 +74,10 @@ func Registry() []Benchmark {
 			PerAccess: true, ZeroAlloc: true, Fn: AccessHitCoarse},
 		{Name: "core/access-miss-coarse", Doc: "Cache.Access miss path, coarse-TS FS config (§V hardware)",
 			PerAccess: true, ZeroAlloc: true, Fn: AccessMissCoarse},
+		{Name: "shardcache/throughput-1shard-4workers", Doc: "concurrent Engine.Access, 4 workers contending on one shard",
+			PerAccess: true, Fn: ShardedThroughput1},
+		{Name: "shardcache/throughput-4shard-4workers", Doc: "concurrent Engine.Access, 4 workers across 4 shards",
+			PerAccess: true, Fn: ShardedThroughput4},
 	}
 }
 

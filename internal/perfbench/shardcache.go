@@ -1,0 +1,98 @@
+package perfbench
+
+import (
+	"sync"
+	"testing"
+
+	"fscache/internal/futility"
+	"fscache/internal/shardcache"
+	"fscache/internal/xrand"
+)
+
+// ---- shardcache concurrent throughput ----
+
+// loadWorkers is fixed so the 1-shard and 4-shard rows differ only in shard
+// count: with one shard all four workers serialize on a single mutex, with
+// four shards the load spreads across four independent locks. On a
+// multi-core host the 4-shard row should therefore scale well beyond the
+// 1-shard row; on a single-CPU host the two collapse to roughly the same
+// number (goroutines time-slice one core), which is why BENCH_*.json records
+// NumCPU next to the results.
+const loadWorkers = 4
+
+// poolSize is a power of two so the replay index can wrap with a mask.
+const poolSize = 1 << 15
+
+// shardedPools pre-generates per-worker access streams so the timed loop
+// measures Access (routing + shard lock + replacement), not address
+// generation: Zipf-popular addresses over a 4x working set, Mix64-finalized
+// (see shardcache.BuildSchedule on H3 null spaces).
+func shardedPools(e *shardcache.Engine) [][]shardcache.Access {
+	pools := make([][]shardcache.Access, loadWorkers)
+	for w := range pools {
+		rng := xrand.New(xrand.Mix64(benchSeed ^ 0xf10ad ^ uint64(w+1)))
+		zipf := xrand.NewZipf(rng, 0.9, 4*cacheLines)
+		pool := make([]shardcache.Access, poolSize)
+		for i := range pool {
+			part := rng.Intn(cacheParts)
+			pool[i] = shardcache.Access{
+				Addr: xrand.Mix64(uint64(part+1)<<24 + uint64(zipf.Next())),
+				Part: part,
+			}
+		}
+		pools[w] = pool
+	}
+	return pools
+}
+
+// shardedThroughput measures concurrent Engine.Access throughput: loadWorkers
+// free-running goroutines split b.N accesses over a warm engine, each
+// replaying its own pre-generated pool. PerAccess, so fsbench reports the
+// result as aggregate accesses/sec across all workers.
+func shardedThroughput(b *testing.B, shards int) {
+	e := shardcache.New(shardcache.Config{
+		Lines:   cacheLines,
+		Ways:    16,
+		Shards:  shards,
+		Parts:   cacheParts,
+		Ranking: futility.CoarseLRU,
+		Seed:    benchSeed ^ 0x5d,
+	})
+	targets := make([]int, cacheParts)
+	for i := range targets {
+		targets[i] = cacheLines / cacheParts
+	}
+	e.SetTargets(targets)
+	pools := shardedPools(e)
+	for _, pool := range pools {
+		for _, a := range pool[:poolSize/4] {
+			e.Access(a.Addr, a.Part)
+		}
+	}
+	e.Rebalance()
+	b.ReportAllocs()
+	b.ResetTimer()
+	var wg sync.WaitGroup
+	for w := 0; w < loadWorkers; w++ {
+		n := b.N / loadWorkers
+		if w == 0 {
+			n += b.N % loadWorkers
+		}
+		wg.Add(1)
+		go func(pool []shardcache.Access, n int) {
+			defer wg.Done()
+			for i := 0; i < n; i++ {
+				a := pool[i&(poolSize-1)]
+				e.Access(a.Addr, a.Part)
+			}
+		}(pools[w], n)
+	}
+	wg.Wait()
+}
+
+// ShardedThroughput1 is the contention baseline: four workers against a
+// single shard (one mutex).
+func ShardedThroughput1(b *testing.B) { shardedThroughput(b, 1) }
+
+// ShardedThroughput4 is the scaling row: four workers across four shards.
+func ShardedThroughput4(b *testing.B) { shardedThroughput(b, 4) }

@@ -1,0 +1,166 @@
+package shardcache
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"fscache/internal/futility"
+	"fscache/internal/xrand"
+)
+
+// TestDeterministicByteIdentical is the determinism acceptance test: two
+// engines built from the same configuration and driven by the same seeded
+// schedule through genuinely concurrent workers must end in byte-identical
+// measurement state — merged and per shard — as rendered by the canonical
+// core.Snapshot.String layout.
+func TestDeterministicByteIdentical(t *testing.T) {
+	run := func() (string, []string) {
+		cfg := testConfig(4)
+		e := New(cfg)
+		e.SetTargets(testTargets())
+		rounds, perRound := 4, 2048
+		if testing.Short() {
+			rounds, perRound = 2, 1024
+		}
+		sched := BuildSchedule(e, testSeed^0xd0, 4, rounds, perRound)
+		RunDeterministic(e, sched)
+		shards := e.ShardSnapshots()
+		per := make([]string, len(shards))
+		for i := range shards {
+			per[i] = shards[i].String()
+		}
+		return e.Snapshot().String(), per
+	}
+	m1, s1 := run()
+	m2, s2 := run()
+	if m1 != m2 {
+		t.Errorf("merged snapshots differ across same-seed runs:\n--- run 1:\n%s--- run 2:\n%s", m1, m2)
+	}
+	for i := range s1 {
+		if s1[i] != s2[i] {
+			t.Errorf("shard %d snapshots differ across same-seed runs:\n--- run 1:\n%s--- run 2:\n%s",
+				i, s1[i], s2[i])
+		}
+	}
+}
+
+// TestScheduleOwnership pins the shard-ownership protocol the determinism
+// argument rests on: every scheduled access for worker w must route to a
+// shard with index ≡ w (mod workers).
+func TestScheduleOwnership(t *testing.T) {
+	e := New(testConfig(4))
+	sched := BuildSchedule(e, 99, 2, 3, 512)
+	for r := 0; r < sched.Rounds(); r++ {
+		for w := 0; w < sched.Workers(); w++ {
+			for _, a := range sched.Ops(r, w) {
+				if s := e.ShardOf(a.Addr); s%sched.Workers() != w {
+					t.Fatalf("round %d worker %d scheduled addr %#x on shard %d (owner %d)",
+						r, w, a.Addr, s, s%sched.Workers())
+				}
+			}
+		}
+	}
+}
+
+// TestConcurrentStress hammers one engine from many free-running writers
+// while concurrent readers take snapshots and a rebalancer redistributes
+// targets — the -race configuration from CI. Free-running workers share
+// shards, so this run is (intentionally) not deterministic; it asserts
+// thread-safety: no races, conserved counters, clean invariants.
+func TestConcurrentStress(t *testing.T) {
+	cfg := Config{
+		Lines:   1024,
+		Ways:    8,
+		Shards:  4,
+		Parts:   2,
+		Ranking: futility.CoarseLRU,
+		Seed:    testSeed ^ 0x57,
+	}
+	e := New(cfg)
+	e.SetTargets([]int{640, 384})
+
+	writers, perWriter := 8, 20000
+	if testing.Short() {
+		writers, perWriter = 4, 5000
+	}
+	var total atomic.Uint64
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		//fslint:ignore determinism race stress test: free-running writers deliberately share shards; only thread-safety is asserted
+		go func(w int) {
+			defer wg.Done()
+			rng := xrand.New(uint64(w+1) * 0x9e37)
+			zipf := xrand.NewZipf(rng, 0.9, 1<<12)
+			for i := 0; i < perWriter; i++ {
+				part := rng.Intn(cfg.Parts)
+				e.Access(uint64(part+1)<<20+uint64(zipf.Next()), part)
+			}
+			total.Add(uint64(perWriter))
+		}(w)
+	}
+	var aux sync.WaitGroup
+	for r := 0; r < 2; r++ {
+		aux.Add(1)
+		//fslint:ignore determinism race stress test: concurrent snapshot readers race against writers by design
+		go func() {
+			defer aux.Done()
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				snap := e.Snapshot()
+				// Merged counters must always be internally consistent even
+				// mid-flight: a partition's evictions can never exceed its
+				// insertions.
+				for p := range snap.Parts {
+					if snap.Parts[p].Evictions > snap.Parts[p].Insertions {
+						t.Errorf("snapshot part %d: %d evictions > %d insertions",
+							p, snap.Parts[p].Evictions, snap.Parts[p].Insertions)
+						return
+					}
+				}
+			}
+		}()
+	}
+	aux.Add(1)
+	//fslint:ignore determinism race stress test: rebalancer races against writers by design
+	go func() {
+		defer aux.Done()
+		for {
+			select {
+			case <-done:
+				return
+			default:
+			}
+			e.Rebalance()
+		}
+	}()
+	wg.Wait()
+	close(done)
+	aux.Wait()
+
+	if err := e.CheckInvariants(); err != nil {
+		t.Fatalf("invariants after stress: %v", err)
+	}
+	snap := e.Snapshot()
+	if snap.Accesses != total.Load() {
+		t.Fatalf("engine recorded %d accesses, workers performed %d", snap.Accesses, total.Load())
+	}
+	var hm uint64
+	size := 0
+	for p := range snap.Parts {
+		hm += snap.Parts[p].Hits + snap.Parts[p].Misses
+		size += snap.Parts[p].Size
+	}
+	if hm != total.Load() {
+		t.Fatalf("hits+misses %d != accesses %d", hm, total.Load())
+	}
+	if size > cfg.Lines {
+		t.Fatalf("resident lines %d exceed capacity %d", size, cfg.Lines)
+	}
+}

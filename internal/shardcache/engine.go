@@ -1,0 +1,366 @@
+// Package shardcache is the concurrent layer over the single-threaded
+// simulator: it splits one logical Futility-Scaling cache into S independent
+// core.Cache shards, each guarded by its own mutex and owning its own
+// ranker and feedback-controller state, so multiple goroutines can drive
+// the cache at once while every invariant the sequential simulator enforces
+// keeps holding per shard.
+//
+// Sharding follows the hardware idiom: the engine hashes an address with one
+// H3 function over the *global* set index space and takes the top
+// log2(S)-bit slice as the shard index (hashing.ShardOf), so each shard is a
+// contiguous run of sets — a smaller set-associative array with the same
+// associativity. Within a shard, placement is the shard array's own H3
+// index over its local sets.
+//
+// Partition targets stay a cache-wide contract: SetTargets installs global
+// per-partition line targets, and Rebalance — the global target distributor
+// — periodically snapshots every shard's occupancy and access demand
+// through core.Cache.StatsSnapshot and re-apportions each partition's
+// global target across shards proportional to observed per-shard demand.
+// Under skewed shard load this converges cache-wide partition sizes to the
+// paper's targets even though each shard's feedback controller only ever
+// sees its local slice.
+//
+// Concurrency contract: Access, SetTargets, Rebalance, Snapshot,
+// ShardSnapshots and CheckInvariants are all safe for concurrent use. A
+// shard mutex is only ever held for one bounded cache operation; the
+// engine never holds two shard locks at once, so there is no lock-order
+// hazard. Determinism under concurrency is a protocol property, not an
+// engine property — see driver.go.
+package shardcache
+
+import (
+	"fmt"
+	"sync"
+
+	"fscache/internal/cachearray"
+	"fscache/internal/core"
+	"fscache/internal/futility"
+	"fscache/internal/hashing"
+	"fscache/internal/trace"
+	"fscache/internal/xrand"
+)
+
+// Config assembles a sharded cache.
+type Config struct {
+	// Lines is the total line count across all shards (power of two).
+	Lines int
+	// Ways is the associativity of every shard (power of two).
+	Ways int
+	// Shards is the shard count (power of two, at most Lines/Ways sets).
+	Shards int
+	// Parts is the number of partitions; targets are cache-wide.
+	Parts int
+	// Ranking selects the futility ranker each shard runs (the reference
+	// ranker for AEF measurement is derived via futility.Reference).
+	Ranking futility.Kind
+	// Feedback parameterizes each shard's FS feedback controller.
+	Feedback core.FSFeedbackConfig
+	// Seed roots all hash functions and rankers; equal seeds build
+	// byte-identical engines.
+	Seed uint64
+	// HistBuckets sets the eviction-futility histogram resolution
+	// (default 64, matching core).
+	HistBuckets int
+}
+
+// shard is one independently locked domain: a single-threaded core.Cache
+// plus the demand counters the global distributor reads.
+type shard struct {
+	mu    sync.Mutex
+	cache *core.Cache
+	// demand counts accesses routed to this shard per partition since the
+	// last Rebalance; it is the distributor's load signal.
+	demand []uint64
+}
+
+// Engine is the concurrent sharded cache.
+type Engine struct {
+	cfg    Config
+	sets   int // global set count = Lines/Ways
+	router *hashing.H3
+	shards []*shard
+
+	// tmu serializes target distribution (SetTargets and Rebalance) so two
+	// concurrent rebalances cannot interleave their per-shard SetTargets
+	// writes; targets holds the cache-wide per-partition goals.
+	tmu     sync.Mutex
+	targets []int
+}
+
+// New builds an engine from cfg. It panics on inconsistent configuration
+// (experiment-setup programming errors, matching core.New).
+func New(cfg Config) *Engine {
+	checkPow2(cfg.Lines, "Lines")
+	checkPow2(cfg.Ways, "Ways")
+	checkPow2(cfg.Shards, "Shards")
+	if cfg.Parts <= 0 {
+		panic("shardcache: Parts must be positive")
+	}
+	if cfg.Ways > cfg.Lines {
+		panic("shardcache: Ways exceed Lines")
+	}
+	sets := cfg.Lines / cfg.Ways
+	if cfg.Shards > sets {
+		panic("shardcache: more shards than sets")
+	}
+	e := &Engine{
+		cfg:     cfg,
+		sets:    sets,
+		router:  hashing.NewH3(cfg.Seed, sets),
+		shards:  make([]*shard, cfg.Shards),
+		targets: make([]int, cfg.Parts),
+	}
+	perShard := cfg.Lines / cfg.Shards
+	for i := range e.shards {
+		arr := cachearray.NewSetAssoc(perShard, cfg.Ways, cachearray.IndexH3,
+			xrand.Mix64(cfg.Seed^uint64(i+1)))
+		ranker := futility.New(cfg.Ranking, perShard, cfg.Parts,
+			xrand.Mix64(cfg.Seed^0x5a5a0000^uint64(i)))
+		var ref futility.Ranker
+		if rk := futility.Reference(cfg.Ranking); rk != cfg.Ranking {
+			ref = futility.New(rk, perShard, cfg.Parts,
+				xrand.Mix64(cfg.Seed^0x0a0a0000^uint64(i)))
+		}
+		e.shards[i] = &shard{
+			cache: core.New(core.Config{
+				Array:       arr,
+				Ranker:      ranker,
+				Reference:   ref,
+				Scheme:      core.NewFSFeedback(cfg.Parts, cfg.Feedback),
+				Parts:       cfg.Parts,
+				HistBuckets: cfg.HistBuckets,
+			}),
+			demand: make([]uint64, cfg.Parts),
+		}
+	}
+	return e
+}
+
+func checkPow2(n int, what string) {
+	if n <= 0 || n&(n-1) != 0 {
+		panic("shardcache: " + what + " must be a positive power of two")
+	}
+}
+
+// Shards returns the shard count.
+func (e *Engine) Shards() int { return len(e.shards) }
+
+// Parts returns the partition count.
+func (e *Engine) Parts() int { return e.cfg.Parts }
+
+// Lines returns the total line count across all shards.
+func (e *Engine) Lines() int { return e.cfg.Lines }
+
+// ShardOf returns the shard an address routes to: the top bit-slice of its
+// global H3 set index. It is pure and safe to call concurrently.
+func (e *Engine) ShardOf(addr uint64) int {
+	return int(hashing.ShardOf(e.router.Hash(addr), e.sets, len(e.shards)))
+}
+
+// Access performs one cache access for partition part on the shard the
+// address routes to, holding only that shard's lock.
+func (e *Engine) Access(addr uint64, part int) core.AccessResult {
+	s := e.shards[e.ShardOf(addr)]
+	s.mu.Lock()
+	res := s.cache.Access(addr, part, trace.NoNextUse)
+	if !res.Hit {
+		// Demand is counted in insertions, not raw accesses: a hit consumes
+		// no line, so a hit-dominated shard needs no extra allocation, while
+		// every miss claims a line in this shard. Weighting the distributor
+		// by insertion demand reproduces how lines spread across regions of
+		// a monolithic array (lines sit where they are inserted).
+		s.demand[part]++
+	}
+	s.mu.Unlock()
+	return res
+}
+
+// SetTargets installs cache-wide per-partition line targets and distributes
+// them evenly across shards (Rebalance later re-apportions by demand).
+// len(targets) must equal Parts.
+func (e *Engine) SetTargets(targets []int) {
+	if len(targets) != e.cfg.Parts {
+		panic("shardcache: SetTargets length mismatch")
+	}
+	e.tmu.Lock()
+	defer e.tmu.Unlock()
+	copy(e.targets, targets)
+	even := make([]float64, len(e.shards))
+	for i := range even {
+		even[i] = 1
+	}
+	perShard := make([][]int, len(e.shards))
+	for i := range perShard {
+		perShard[i] = make([]int, e.cfg.Parts)
+	}
+	for p := 0; p < e.cfg.Parts; p++ {
+		shares := apportion(e.targets[p], even)
+		for i := range e.shards {
+			perShard[i][p] = shares[i]
+		}
+	}
+	e.applyTargets(perShard)
+}
+
+// Targets returns a copy of the cache-wide per-partition targets.
+func (e *Engine) Targets() []int {
+	e.tmu.Lock()
+	defer e.tmu.Unlock()
+	return append([]int(nil), e.targets...)
+}
+
+// Rebalance is the global target distributor: it snapshots every shard's
+// per-partition occupancy and demand (in shard order, one lock at a time),
+// resets the demand counters, and re-apportions each partition's cache-wide
+// target across shards proportional to demand + occupancy. A shard that saw
+// more of a partition's traffic gets a larger slice of that partition's
+// global allocation, so cache-wide partition sizes track the paper's
+// targets even when the address hash routes partitions unevenly.
+//
+// The +1 smoothing term keeps every shard's weight positive, so no shard's
+// target collapses to zero on a quiet interval (which would force its local
+// controller to evict the partition entirely and then refill on the next
+// interval).
+func (e *Engine) Rebalance() {
+	e.tmu.Lock()
+	defer e.tmu.Unlock()
+	nS, nP := len(e.shards), e.cfg.Parts
+	weights := make([][]float64, nP) // [part][shard]
+	for p := range weights {
+		weights[p] = make([]float64, nS)
+	}
+	for i, s := range e.shards {
+		s.mu.Lock()
+		snap := s.cache.StatsSnapshot()
+		for p := 0; p < nP; p++ {
+			weights[p][i] = float64(s.demand[p]) + float64(snap.Parts[p].Size) + 1
+			s.demand[p] = 0
+		}
+		s.mu.Unlock()
+	}
+	perShard := make([][]int, nS)
+	for i := range perShard {
+		perShard[i] = make([]int, nP)
+	}
+	for p := 0; p < nP; p++ {
+		shares := apportion(e.targets[p], weights[p])
+		for i := 0; i < nS; i++ {
+			perShard[i][p] = shares[i]
+		}
+	}
+	e.applyTargets(perShard)
+}
+
+// applyTargets installs per-shard target vectors, taking each shard lock in
+// turn. Callers hold tmu.
+func (e *Engine) applyTargets(perShard [][]int) {
+	for i, s := range e.shards {
+		s.mu.Lock()
+		s.cache.SetTargets(perShard[i])
+		s.mu.Unlock()
+	}
+}
+
+// apportion splits total into integer shares proportional to weights using
+// largest-remainder rounding: shares sum exactly to total, and the result
+// is a deterministic function of (total, weights) with ties broken by the
+// lowest index. Weights must be non-negative with a positive sum.
+func apportion(total int, weights []float64) []int {
+	sum := 0.0
+	for _, w := range weights {
+		if w < 0 {
+			panic("shardcache: negative apportionment weight")
+		}
+		sum += w
+	}
+	if sum <= 0 {
+		panic("shardcache: apportionment weights sum to zero")
+	}
+	shares := make([]int, len(weights))
+	rems := make([]float64, len(weights))
+	used := 0
+	for i, w := range weights {
+		exact := float64(total) * (w / sum)
+		shares[i] = int(exact)
+		rems[i] = exact - float64(shares[i])
+		used += shares[i]
+	}
+	for used < total {
+		best := -1
+		bestRem := -1.0
+		for i, r := range rems {
+			if r > bestRem {
+				bestRem = r
+				best = i
+			}
+		}
+		shares[best]++
+		rems[best] = -2 // consumed; lowest index wins remaining ties
+		used++
+	}
+	return shares
+}
+
+// Snapshot returns the cache-wide measurement state: every shard's
+// StatsSnapshot (taken one shard lock at a time, in shard index order)
+// merged into one core.Snapshot. Counters, histograms and Size/Target
+// columns add into cache-wide totals. Note that the merged
+// Snapshot.MeanOccupancy is a per-access average over shard-local samples
+// (each shard only samples its own slice), so it reports the loaded-shard
+// average, not the cache-wide resident total; use Engine.MeanOccupancy for
+// the cache-wide per-partition occupancy.
+func (e *Engine) Snapshot() core.Snapshot {
+	var merged core.Snapshot
+	for i, s := range e.shards {
+		s.mu.Lock()
+		snap := s.cache.StatsSnapshot()
+		s.mu.Unlock()
+		if i == 0 {
+			merged = snap
+		} else {
+			merged.Merge(snap)
+		}
+	}
+	return merged
+}
+
+// MeanOccupancy returns the cache-wide time-averaged resident line count of
+// a partition: the sum over shards of each shard's mean occupancy (each
+// sampled at that shard's own accesses). Comparable to the monolithic
+// core.Cache.MeanOccupancy.
+func (e *Engine) MeanOccupancy(part int) float64 {
+	total := 0.0
+	for _, s := range e.shards {
+		s.mu.Lock()
+		snap := s.cache.StatsSnapshot()
+		s.mu.Unlock()
+		total += snap.MeanOccupancy(part)
+	}
+	return total
+}
+
+// ShardSnapshots returns each shard's StatsSnapshot in shard index order.
+func (e *Engine) ShardSnapshots() []core.Snapshot {
+	out := make([]core.Snapshot, len(e.shards))
+	for i, s := range e.shards {
+		s.mu.Lock()
+		out[i] = s.cache.StatsSnapshot()
+		s.mu.Unlock()
+	}
+	return out
+}
+
+// CheckInvariants audits every shard's controller with the sequential
+// simulator's full invariant rescan, one shard lock at a time.
+func (e *Engine) CheckInvariants() error {
+	for i, s := range e.shards {
+		s.mu.Lock()
+		err := s.cache.CheckInvariants()
+		s.mu.Unlock()
+		if err != nil {
+			return fmt.Errorf("shard %d: %w", i, err)
+		}
+	}
+	return nil
+}

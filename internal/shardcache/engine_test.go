@@ -1,0 +1,217 @@
+package shardcache
+
+import (
+	"math"
+	"testing"
+
+	"fscache/internal/cachearray"
+	"fscache/internal/core"
+	"fscache/internal/futility"
+	"fscache/internal/trace"
+	"fscache/internal/xrand"
+)
+
+const testSeed = 0x5ca1ab1e
+
+// testConfig is the canonical comparison configuration: a 4096-line 16-way
+// cache in the paper's hardware arrangement, split four ways.
+func testConfig(shards int) Config {
+	return Config{
+		Lines:   4096,
+		Ways:    16,
+		Shards:  shards,
+		Parts:   3,
+		Ranking: futility.LRU,
+		Seed:    testSeed,
+	}
+}
+
+// testTargets sums exactly to the cache capacity, the regime the feedback
+// controller is designed for.
+func testTargets() []int { return []int{2048, 1280, 768} }
+
+// monolithic builds the single-threaded equivalent of testConfig: the same
+// total lines, associativity, ranking and feedback parameters in one
+// core.Cache.
+func monolithic(cfg Config) *core.Cache {
+	arr := cachearray.NewSetAssoc(cfg.Lines, cfg.Ways, cachearray.IndexH3,
+		xrand.Mix64(cfg.Seed^0x30))
+	ranker := futility.New(cfg.Ranking, cfg.Lines, cfg.Parts, xrand.Mix64(cfg.Seed^0x31))
+	var ref futility.Ranker
+	if rk := futility.Reference(cfg.Ranking); rk != cfg.Ranking {
+		ref = futility.New(rk, cfg.Lines, cfg.Parts, xrand.Mix64(cfg.Seed^0x32))
+	}
+	return core.New(core.Config{
+		Array:     arr,
+		Ranker:    ranker,
+		Reference: ref,
+		Scheme:    core.NewFSFeedback(cfg.Parts, cfg.Feedback),
+		Parts:     cfg.Parts,
+	})
+}
+
+// TestShardedMatchesMonolithic is the tentpole acceptance test: the same
+// deterministic workload driven concurrently through four shards and
+// sequentially through one monolithic cache must land, per partition,
+// at matching occupancies, miss ratios and AEF within tolerance. The two
+// systems place lines with different hash functions and see different
+// interleavings, so the comparison is statistical (shape), not bit-exact.
+func TestShardedMatchesMonolithic(t *testing.T) {
+	cfg := testConfig(4)
+	e := New(cfg)
+	e.SetTargets(testTargets())
+	rounds, perRound := 8, 8192
+	if testing.Short() {
+		rounds, perRound = 4, 4096
+	}
+	sched := BuildSchedule(e, testSeed, 4, rounds, perRound)
+	RunDeterministic(e, sched)
+	if err := e.CheckInvariants(); err != nil {
+		t.Fatalf("sharded invariants: %v", err)
+	}
+
+	mono := monolithic(cfg)
+	mono.SetTargets(testTargets())
+	for _, a := range sched.Sequential() {
+		mono.Access(a.Addr, a.Part, trace.NoNextUse)
+	}
+	if err := mono.CheckInvariants(); err != nil {
+		t.Fatalf("monolithic invariants: %v", err)
+	}
+
+	snap := e.Snapshot()
+	ms := mono.StatsSnapshot()
+	if snap.Accesses != ms.Accesses {
+		t.Fatalf("access counts differ: sharded %d, monolithic %d", snap.Accesses, ms.Accesses)
+	}
+	for p := 0; p < cfg.Parts; p++ {
+		so, mo := e.MeanOccupancy(p), ms.MeanOccupancy(p)
+		occTol := 0.06 * float64(cfg.Lines)
+		if d := math.Abs(so - mo); d > occTol {
+			t.Errorf("part %d occupancy: sharded %.1f vs monolithic %.1f (|Δ|=%.1f > %.1f)",
+				p, so, mo, d, occTol)
+		}
+		sm, mm := snap.Parts[p].MissRate(), ms.Parts[p].MissRate()
+		if d := math.Abs(sm - mm); d > 0.05 {
+			t.Errorf("part %d miss ratio: sharded %.4f vs monolithic %.4f (|Δ|=%.4f > 0.05)",
+				p, sm, mm, d)
+		}
+		sa, ma := snap.Parts[p].AEF(), ms.Parts[p].AEF()
+		if d := math.Abs(sa - ma); d > 0.15 {
+			t.Errorf("part %d AEF: sharded %.4f vs monolithic %.4f (|Δ|=%.4f > 0.15)",
+				p, sa, ma, d)
+		}
+		t.Logf("part %d: occ %.1f/%.1f  miss %.4f/%.4f  aef %.4f/%.4f (sharded/monolithic)",
+			p, so, mo, sm, mm, sa, ma)
+	}
+	// The merged snapshot's sizes and targets are cache-wide: targets must
+	// re-sum to the global contract after the distributor has rebalanced.
+	for p := 0; p < cfg.Parts; p++ {
+		if got, want := snap.Parts[p].Target, testTargets()[p]; got != want {
+			t.Errorf("part %d: cache-wide target %d after rebalances, want %d", p, got, want)
+		}
+	}
+}
+
+// TestShardRouting pins the router: every address lands on a valid shard,
+// the mapping is stable, and with a power-of-two split all shards receive
+// a reasonable fraction of a uniform address stream.
+func TestShardRouting(t *testing.T) {
+	e := New(testConfig(4))
+	counts := make([]int, e.Shards())
+	rng := xrand.New(7)
+	const n = 1 << 14
+	for i := 0; i < n; i++ {
+		addr := rng.Uint64()
+		s := e.ShardOf(addr)
+		if s < 0 || s >= e.Shards() {
+			t.Fatalf("ShardOf(%#x) = %d out of range", addr, s)
+		}
+		if s2 := e.ShardOf(addr); s2 != s {
+			t.Fatalf("ShardOf(%#x) unstable: %d then %d", addr, s, s2)
+		}
+		counts[s]++
+	}
+	for s, c := range counts {
+		if c < n/8 || c > n/2 {
+			t.Errorf("shard %d received %d of %d uniform addresses (expected ~%d)", s, c, n, n/4)
+		}
+	}
+}
+
+// TestRebalanceRedistributes pins the global distributor: after heavily
+// skewed per-shard demand for a partition, Rebalance must hand the loaded
+// shard a strictly larger slice of that partition's global target than the
+// idle shards get, while per-partition shard targets keep summing exactly
+// to the cache-wide target.
+func TestRebalanceRedistributes(t *testing.T) {
+	cfg := testConfig(4)
+	e := New(cfg)
+	targets := testTargets()
+	e.SetTargets(targets)
+
+	// Drive traffic for partition 0 at one shard only: find addresses
+	// routing to shard 0 and access them repeatedly.
+	rng := xrand.New(42)
+	sent := 0
+	for sent < 4096 {
+		addr := rng.Uint64() % (1 << 20)
+		if e.ShardOf(addr) != 0 {
+			continue
+		}
+		e.Access(addr, 0)
+		sent++
+	}
+	e.Rebalance()
+
+	snaps := e.ShardSnapshots()
+	for p := 0; p < cfg.Parts; p++ {
+		sum := 0
+		for _, s := range snaps {
+			sum += s.Parts[p].Target
+		}
+		if sum != targets[p] {
+			t.Errorf("part %d shard targets sum to %d, want cache-wide %d", p, sum, targets[p])
+		}
+	}
+	hot := snaps[0].Parts[0].Target
+	for i := 1; i < len(snaps); i++ {
+		if cold := snaps[i].Parts[0].Target; hot <= cold {
+			t.Errorf("shard 0 (all of partition 0's demand) got target %d, shard %d got %d",
+				hot, i, cold)
+		}
+	}
+}
+
+// TestApportion pins the largest-remainder apportionment: exact sums,
+// proportionality, and deterministic lowest-index tie-breaks.
+func TestApportion(t *testing.T) {
+	cases := []struct {
+		total   int
+		weights []float64
+		want    []int
+	}{
+		{10, []float64{1, 1}, []int{5, 5}},
+		{10, []float64{1, 1, 1}, []int{4, 3, 3}}, // remainder to lowest index
+		{7, []float64{3, 1}, []int{5, 2}},        // 5.25 → 5, 1.75 → 2
+		{0, []float64{2, 5}, []int{0, 0}},        // nothing to hand out
+		{5, []float64{0, 1}, []int{0, 5}},        // zero weight gets zero
+		{100, []float64{1, 2, 3, 4}, []int{10, 20, 30, 40}},
+	}
+	for _, c := range cases {
+		got := apportion(c.total, c.weights)
+		sum := 0
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Errorf("apportion(%d, %v) = %v, want %v", c.total, c.weights, got, c.want)
+				break
+			}
+		}
+		for _, v := range got {
+			sum += v
+		}
+		if sum != c.total {
+			t.Errorf("apportion(%d, %v) sums to %d", c.total, c.weights, sum)
+		}
+	}
+}

@@ -74,16 +74,32 @@ func (h *Histogram) CDF() []float64 {
 	return out
 }
 
-// Quantile returns the (approximate, bucket-resolved) q-quantile, q in [0,1].
+// Quantile returns the (approximate, bucket-resolved) q-quantile: the upper
+// edge of the bucket where the cumulative count first reaches q·N. q is
+// clamped to [0,1]. Quantile(0) is the upper edge of the lowest *occupied*
+// bucket — empty leading buckets carry no mass and are skipped — and
+// Quantile(1) the upper edge of the highest occupied one. An empty
+// histogram returns 0.
 func (h *Histogram) Quantile(q float64) float64 {
 	if h.total == 0 {
 		return 0
 	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
 	target := q * float64(h.total)
-	var cum float64
+	var cum uint64
 	for i, c := range h.counts {
-		cum += float64(c)
-		if cum >= target {
+		if c == 0 && cum == 0 {
+			// No mass seen yet: q=0 must resolve to the first occupied
+			// bucket, not trivially satisfy cum >= 0 at bucket zero.
+			continue
+		}
+		cum += c
+		if float64(cum) >= target {
 			return float64(i+1) / float64(len(h.counts))
 		}
 	}
@@ -91,6 +107,11 @@ func (h *Histogram) Quantile(q float64) float64 {
 }
 
 // Merge adds other's samples into h. The histograms must have equal widths.
+//
+// Histogram is not safe for concurrent use. The concurrent merge path is:
+// each writer owns its histogram, readers Clone it under the writer's lock,
+// and the clones are merged outside any lock (internal/shardcache does this
+// for per-shard eviction-futility histograms).
 func (h *Histogram) Merge(other *Histogram) {
 	if len(h.counts) != len(other.counts) {
 		panic("stats: merging histograms of different widths")
@@ -101,6 +122,23 @@ func (h *Histogram) Merge(other *Histogram) {
 	h.total += other.total
 	h.sum += other.sum
 }
+
+// Clone returns an independent deep copy of h.
+func (h *Histogram) Clone() *Histogram {
+	return &Histogram{
+		counts: append([]uint64(nil), h.counts...),
+		total:  h.total,
+		sum:    h.sum,
+	}
+}
+
+// Counts returns a copy of the per-bucket counts.
+func (h *Histogram) Counts() []uint64 {
+	return append([]uint64(nil), h.counts...)
+}
+
+// Sum returns the exact (not bucket-quantized) sum of recorded samples.
+func (h *Histogram) Sum() float64 { return h.sum }
 
 // IntDist accumulates integer samples (e.g. size deviation in lines) and
 // reports moments and the CDF of values. Memory is proportional to the

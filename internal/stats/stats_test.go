@@ -100,6 +100,72 @@ func TestHistogramQuantile(t *testing.T) {
 	}
 }
 
+func TestHistogramQuantileEdges(t *testing.T) {
+	// Empty histogram: every quantile is 0.
+	empty := NewHistogram(10)
+	for _, q := range []float64{-1, 0, 0.5, 1, 2} {
+		if v := empty.Quantile(q); v != 0 {
+			t.Fatalf("empty Quantile(%v) = %v, want 0", q, v)
+		}
+	}
+
+	// All mass in one interior bucket: every quantile (including q=0, which
+	// used to report the first bucket's edge) resolves to that bucket's
+	// upper edge. Out-of-range q clamps.
+	h := NewHistogram(10)
+	h.Add(0.65)
+	h.Add(0.65)
+	for _, q := range []float64{-0.5, 0, 0.5, 1, 1.5} {
+		if v := h.Quantile(q); !almost(v, 0.7, 1e-12) {
+			t.Fatalf("Quantile(%v) = %v, want 0.7", q, v)
+		}
+	}
+
+	// All mass in the top bucket.
+	top := NewHistogram(4)
+	top.Add(1.0)
+	for _, q := range []float64{0, 0.5, 1} {
+		if v := top.Quantile(q); v != 1 {
+			t.Fatalf("top-bucket Quantile(%v) = %v, want 1", q, v)
+		}
+	}
+
+	// Mass in first and last buckets: q=0 and q=1 pick the respective
+	// occupied extremes.
+	spread := NewHistogram(10)
+	spread.Add(0.01)
+	spread.Add(0.99)
+	if v := spread.Quantile(0); !almost(v, 0.1, 1e-12) {
+		t.Fatalf("spread Quantile(0) = %v, want 0.1", v)
+	}
+	if v := spread.Quantile(1); v != 1 {
+		t.Fatalf("spread Quantile(1) = %v, want 1", v)
+	}
+}
+
+func TestHistogramCloneAndCounts(t *testing.T) {
+	h := NewHistogram(4)
+	h.Add(0.1)
+	h.Add(0.9)
+	c := h.Clone()
+	if c.N() != h.N() || c.Mean() != h.Mean() || c.Sum() != h.Sum() {
+		t.Fatalf("clone summary mismatch: %v/%v vs %v/%v", c.N(), c.Mean(), h.N(), h.Mean())
+	}
+	// Mutating the clone must not touch the original.
+	c.Add(0.5)
+	if h.N() != 2 {
+		t.Fatalf("clone mutation leaked into original: N = %d", h.N())
+	}
+	counts := h.Counts()
+	if len(counts) != 4 || counts[0] != 1 || counts[3] != 1 {
+		t.Fatalf("Counts = %v", counts)
+	}
+	counts[0] = 99
+	if h.Counts()[0] != 1 {
+		t.Fatal("Counts must return a copy")
+	}
+}
+
 func TestHistogramMerge(t *testing.T) {
 	a, b := NewHistogram(8), NewHistogram(8)
 	a.Add(0.25)
