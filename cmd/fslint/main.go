@@ -1,26 +1,44 @@
 // Command fslint runs the repository's custom static analyzers over Go
 // packages, in the spirit of a go/analysis multichecker. It enforces the
-// simulator's determinism and numeric-safety contract:
+// simulator's determinism, numeric-safety, and concurrency contracts:
 //
+//	allocfree    //fs:allocfree functions (and everything they reach) must
+//	             not heap-allocate; cross-checked against the compiler's
+//	             own escape analysis (-gcflags=-m)
 //	determinism  no math/rand, wall-clock reads or order-sensitive map
 //	             iteration in simulation packages
 //	floateq      no ==/!= between floating-point expressions
 //	hotpath      no inline fmt formatting inside panic() in simulation
 //	             packages (use a cold *panic* helper)
+//	lockcheck    //fs:guardedby fields accessed only under their mutex,
+//	             //fs:lockorder acquisition order respected
 //	panicstyle   panic messages must carry the "pkg: " prefix
+//	staleignore  //fslint:ignore comments that suppress nothing are
+//	             themselves findings
 //	tswrap       no raw arithmetic on 8-bit wrapping timestamp fields
 //
 // Usage:
 //
 //	go run ./cmd/fslint ./...
 //	go run ./cmd/fslint -analyzers floateq,tswrap ./internal/futility
+//	go run ./cmd/fslint -json ./... | jq .
 //
 // fslint exits 0 when the tree is clean and 1 when it has findings, so it
-// can gate CI. Individual findings are suppressed in source with
+// can gate CI. The default text output is one finding per line in
+// file:line:col form (matched by .github/fslint-problem-matcher.json so
+// findings annotate pull requests); -json emits the same findings as a
+// JSON array for tooling. Individual findings are suppressed in source
+// with
 //
 //	//fslint:ignore <analyzer>[,<analyzer>] <reason>
 //
-// on the offending line or the line above it.
+// on the offending line or the line above it. Comments naming analyzers
+// that are not registered here, and comments that no longer suppress
+// anything, are reported rather than silently ignored.
+//
+// -escape=false skips the allocfree escape-analysis cross-check (it
+// shells out to `go build` per annotated package, which needs a warm
+// build cache to be fast).
 //
 // The framework under internal/lint/analysis is a dependency-free mirror of
 // golang.org/x/tools/go/analysis (this module deliberately has no
@@ -29,36 +47,64 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
 
+	"fscache/internal/lint/allocfree"
 	"fscache/internal/lint/analysis"
 	"fscache/internal/lint/determinism"
 	"fscache/internal/lint/floateq"
 	"fscache/internal/lint/hotpath"
+	"fscache/internal/lint/lockcheck"
 	"fscache/internal/lint/panicstyle"
+	"fscache/internal/lint/staleignore"
 	"fscache/internal/lint/tswrap"
 )
 
-var all = []*analysis.Analyzer{
-	determinism.Analyzer,
-	floateq.Analyzer,
-	hotpath.Analyzer,
-	panicstyle.Analyzer,
-	tswrap.Analyzer,
+// registry builds the full analyzer set. allocfree is constructed per run
+// because the -escape flag decides whether it shells out to the compiler.
+func registry(escape bool) []*analysis.Analyzer {
+	opts := allocfree.Options{}
+	if escape {
+		opts.Escape = allocfree.GoBuildEscape
+	}
+	return []*analysis.Analyzer{
+		allocfree.New(opts),
+		determinism.Analyzer,
+		floateq.Analyzer,
+		hotpath.Analyzer,
+		lockcheck.New(),
+		panicstyle.Analyzer,
+		staleignore.New(),
+		tswrap.Analyzer,
+	}
+}
+
+// jsonFinding is the -json wire form of one finding.
+type jsonFinding struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Column   int    `json:"column"`
+	Message  string `json:"message"`
 }
 
 func main() {
 	list := flag.Bool("list", false, "list registered analyzers and exit")
 	names := flag.String("analyzers", "", "comma-separated subset of analyzers to run (default: all)")
+	asJSON := flag.Bool("json", false, "emit findings as a JSON array on stdout")
+	escape := flag.Bool("escape", true, "cross-check allocfree against go build -gcflags=-m")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: fslint [-list] [-analyzers a,b] [packages]\n")
+		fmt.Fprintf(os.Stderr, "usage: fslint [-list] [-analyzers a,b] [-json] [-escape=false] [packages]\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
+
+	all := registry(*escape)
 
 	if *list {
 		for _, a := range all {
@@ -67,7 +113,7 @@ func main() {
 		return
 	}
 
-	active, err := selectAnalyzers(*names)
+	active, err := selectAnalyzers(all, *names)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "fslint:", err)
 		os.Exit(2)
@@ -83,20 +129,50 @@ func main() {
 		fmt.Fprintln(os.Stderr, "fslint:", err)
 		os.Exit(2)
 	}
-	findings, err := analysis.Run(units, active)
+	// The full registry stays Known even when -analyzers selects a
+	// subset: a suppression naming a deselected analyzer is well-formed.
+	known := make([]string, 0, len(all))
+	for _, a := range all {
+		known = append(known, a.Name)
+	}
+	findings, err := analysis.RunOpts(units, active, analysis.Options{Known: known})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "fslint:", err)
 		os.Exit(2)
 	}
 
 	cwd, _ := os.Getwd()
-	for _, f := range findings {
+	relativize := func(name string) string {
 		if cwd != "" {
-			if rel, err := filepath.Rel(cwd, f.Pos.Filename); err == nil && !strings.HasPrefix(rel, "..") {
-				f.Pos.Filename = rel
+			if rel, err := filepath.Rel(cwd, name); err == nil && !strings.HasPrefix(rel, "..") {
+				return rel
 			}
 		}
-		fmt.Println(f)
+		return name
+	}
+
+	if *asJSON {
+		out := make([]jsonFinding, 0, len(findings))
+		for _, f := range findings {
+			out = append(out, jsonFinding{
+				Analyzer: f.Analyzer,
+				File:     relativize(f.Pos.Filename),
+				Line:     f.Pos.Line,
+				Column:   f.Pos.Column,
+				Message:  f.Message,
+			})
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintln(os.Stderr, "fslint:", err)
+			os.Exit(2)
+		}
+	} else {
+		for _, f := range findings {
+			f.Pos.Filename = relativize(f.Pos.Filename)
+			fmt.Println(f)
+		}
 	}
 	if len(findings) > 0 {
 		fmt.Fprintf(os.Stderr, "fslint: %d finding(s)\n", len(findings))
@@ -104,7 +180,7 @@ func main() {
 	}
 }
 
-func selectAnalyzers(names string) ([]*analysis.Analyzer, error) {
+func selectAnalyzers(all []*analysis.Analyzer, names string) ([]*analysis.Analyzer, error) {
 	if names == "" {
 		return all, nil
 	}

@@ -52,14 +52,20 @@ type Array interface {
 	// Lines returns the total number of cache lines.
 	Lines() int
 	// Lookup returns the line index currently holding addr, or -1.
+	//fs:allocfree
 	Lookup(addr uint64) int
 	// Candidates appends the replacement-candidate line indices for addr to
-	// dst and returns the extended slice.
+	// dst and returns the extended slice. The append target is the
+	// caller's reused buffer; implementations must not allocate beyond
+	// growing it.
+	//fs:allocfree
 	Candidates(addr uint64, dst []int) []int
 	// AddrOf returns the address stored in line and whether it is valid.
+	//fs:allocfree
 	AddrOf(line int) (addr uint64, valid bool)
 	// Install stores addr in victim (evicting its content), appends any
 	// relocations performed to moves and returns the extended slice.
+	//fs:allocfree
 	Install(addr uint64, victim int, moves []Move) []Move
 }
 
@@ -73,6 +79,7 @@ type AllCandidates interface {
 // O(1) without a candidate scan.
 type Freer interface {
 	// FreeLine returns an installable free line for addr, or -1.
+	//fs:allocfree
 	FreeLine(addr uint64) int
 }
 
@@ -149,6 +156,8 @@ func (a *SetAssoc) set(addr uint64) int {
 }
 
 // Lookup implements Array.
+//
+//fs:allocfree
 func (a *SetAssoc) Lookup(addr uint64) int {
 	base := a.set(addr) * a.ways
 	for w := 0; w < a.ways; w++ {
@@ -161,6 +170,8 @@ func (a *SetAssoc) Lookup(addr uint64) int {
 }
 
 // Candidates implements Array: the ways of addr's set.
+//
+//fs:allocfree
 func (a *SetAssoc) Candidates(addr uint64, dst []int) []int {
 	base := a.set(addr) * a.ways
 	for w := 0; w < a.ways; w++ {
@@ -170,11 +181,15 @@ func (a *SetAssoc) Candidates(addr uint64, dst []int) []int {
 }
 
 // AddrOf implements Array.
+//
+//fs:allocfree
 func (a *SetAssoc) AddrOf(line int) (uint64, bool) {
 	return a.addrs[line], a.valid[line]
 }
 
 // Install implements Array.
+//
+//fs:allocfree
 func (a *SetAssoc) Install(addr uint64, victim int, moves []Move) []Move {
 	if victim/a.ways != a.set(addr) {
 		panic("cachearray: victim outside address's set")
@@ -225,6 +240,8 @@ func (s *Skew) pos(way int, addr uint64) int {
 }
 
 // Lookup implements Array.
+//
+//fs:allocfree
 func (s *Skew) Lookup(addr uint64) int {
 	for w := 0; w < s.ways; w++ {
 		i := s.pos(w, addr)
@@ -236,6 +253,8 @@ func (s *Skew) Lookup(addr uint64) int {
 }
 
 // Candidates implements Array: one line per way.
+//
+//fs:allocfree
 func (s *Skew) Candidates(addr uint64, dst []int) []int {
 	for w := 0; w < s.ways; w++ {
 		dst = append(dst, s.pos(w, addr))
@@ -244,11 +263,15 @@ func (s *Skew) Candidates(addr uint64, dst []int) []int {
 }
 
 // AddrOf implements Array.
+//
+//fs:allocfree
 func (s *Skew) AddrOf(line int) (uint64, bool) {
 	return s.addrs[line], s.valid[line]
 }
 
 // Install implements Array.
+//
+//fs:allocfree
 func (s *Skew) Install(addr uint64, victim int, moves []Move) []Move {
 	if s.pos(victim/s.sets, addr) != victim {
 		panic("cachearray: victim is not a candidate position for address")
@@ -301,6 +324,8 @@ func (a *Random) Name() string { return fmt.Sprintf("random-%dcand", a.r) }
 func (a *Random) Lines() int { return len(a.addrs) }
 
 // Lookup implements Array.
+//
+//fs:allocfree
 func (a *Random) Lookup(addr uint64) int {
 	if i, ok := a.index[addr]; ok {
 		return i
@@ -309,6 +334,8 @@ func (a *Random) Lookup(addr uint64) int {
 }
 
 // FreeLine implements Freer.
+//
+//fs:allocfree
 func (a *Random) FreeLine(addr uint64) int {
 	if len(a.free) == 0 {
 		return -1
@@ -317,6 +344,8 @@ func (a *Random) FreeLine(addr uint64) int {
 }
 
 // Candidates implements Array: r distinct uniform lines.
+//
+//fs:allocfree
 func (a *Random) Candidates(addr uint64, dst []int) []int {
 	start := len(dst)
 	for len(dst)-start < a.r {
@@ -336,11 +365,15 @@ func (a *Random) Candidates(addr uint64, dst []int) []int {
 }
 
 // AddrOf implements Array.
+//
+//fs:allocfree
 func (a *Random) AddrOf(line int) (uint64, bool) {
 	return a.addrs[line], a.valid[line]
 }
 
 // Install implements Array.
+//
+//fs:allocfree
 func (a *Random) Install(addr uint64, victim int, moves []Move) []Move {
 	if a.valid[victim] {
 		delete(a.index, a.addrs[victim])
@@ -400,6 +433,8 @@ func (a *FullyAssoc) Lines() int { return len(a.addrs) }
 func (a *FullyAssoc) AllLinesAreCandidates() bool { return true }
 
 // Lookup implements Array.
+//
+//fs:allocfree
 func (a *FullyAssoc) Lookup(addr uint64) int {
 	if i, ok := a.index[addr]; ok {
 		return i
@@ -408,6 +443,8 @@ func (a *FullyAssoc) Lookup(addr uint64) int {
 }
 
 // FreeLine implements Freer.
+//
+//fs:allocfree
 func (a *FullyAssoc) FreeLine(addr uint64) int {
 	if len(a.free) == 0 {
 		return -1
@@ -417,16 +454,22 @@ func (a *FullyAssoc) FreeLine(addr uint64) int {
 
 // Candidates implements Array: every line. Controllers should prefer the
 // AllCandidates fast path to copying the full list.
+//
+//fs:allocfree
 func (a *FullyAssoc) Candidates(addr uint64, dst []int) []int {
 	return append(dst, a.all...)
 }
 
 // AddrOf implements Array.
+//
+//fs:allocfree
 func (a *FullyAssoc) AddrOf(line int) (uint64, bool) {
 	return a.addrs[line], a.valid[line]
 }
 
 // Install implements Array.
+//
+//fs:allocfree
 func (a *FullyAssoc) Install(addr uint64, victim int, moves []Move) []Move {
 	if a.valid[victim] {
 		delete(a.index, a.addrs[victim])

@@ -86,6 +86,8 @@ func (z *ZCache) pos(way int, addr uint64) int {
 
 // Lookup implements Array. Lookups check only the W direct positions — the
 // whole point of the zcache is that hits stay as cheap as a W-way cache.
+//
+//fs:allocfree
 func (z *ZCache) Lookup(addr uint64) int {
 	for w := 0; w < z.ways; w++ {
 		i := z.pos(w, addr)
@@ -100,6 +102,8 @@ func (z *ZCache) Lookup(addr uint64) int {
 // appended lines are deduplicated; free (invalid) lines are included but not
 // expanded (there is no resident address to relocate through them). The walk
 // graph itself stays in internal state for the subsequent Install.
+//
+//fs:allocfree
 func (z *ZCache) Candidates(addr uint64, dst []int) []int {
 	z.nodes = z.nodes[:0]
 	z.walkAddr = addr
@@ -145,6 +149,8 @@ func (z *ZCache) Candidates(addr uint64, dst []int) []int {
 }
 
 // AddrOf implements Array.
+//
+//fs:allocfree
 func (z *ZCache) AddrOf(line int) (uint64, bool) {
 	return z.addrs[line], z.valid[line]
 }
@@ -153,6 +159,8 @@ func (z *ZCache) AddrOf(line int) (uint64, bool) {
 // the same address; lines along the walk path from the victim back to a
 // root are relocated (appended to moves, applied in order) and addr is
 // installed at the vacated root.
+//
+//fs:allocfree
 func (z *ZCache) Install(addr uint64, victim int, moves []Move) []Move {
 	if !z.walkValid || addr != z.walkAddr {
 		panic("cachearray: Install without a matching Candidates walk")

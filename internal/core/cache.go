@@ -94,10 +94,13 @@ type Cache struct {
 	accesses uint64
 	pstats   []PartStats
 
-	candBuf    []Candidate
-	worstBuf   []Candidate
-	candLines  []int             // reused Candidates destination
-	moveBuf    []cachearray.Move // reused Install move list
+	candBuf   []Candidate
+	worstBuf  []Candidate
+	candLines []int             // reused Candidates destination
+	moveBuf   []cachearray.Move // reused Install move list
+	// candFilter, when installed, runs on every set-associative miss;
+	// filters must honor the pipeline's no-allocation contract.
+	//fs:allocfree
 	candFilter CandidateFilter
 	freer      cachearray.Freer
 	allCands   bool
@@ -117,11 +120,17 @@ type Cache struct {
 	// refHit/refInsert/refEvict/refMove are bound to the reference ranker's
 	// methods when a separate reference exists, and nil when the decision
 	// ranker doubles as reference — hoisting the sameRef branch out of the
-	// per-access path into a nil check on a prebound func.
-	refHit    func(line, part int, ctx futility.Context)
+	// per-access path into a nil check on a prebound func. They are bound
+	// from Ranker's //fs:allocfree interface methods, so calls through them
+	// keep the same contract.
+	//fs:allocfree
+	refHit func(line, part int, ctx futility.Context)
+	//fs:allocfree
 	refInsert func(line, part int, ctx futility.Context)
-	refEvict  func(line, part int)
-	refMove   func(from, to, part int)
+	//fs:allocfree
+	refEvict func(line, part int)
+	//fs:allocfree
+	refMove func(from, to, part int)
 }
 
 // New builds a controller from cfg. It panics on inconsistent configuration
@@ -274,6 +283,12 @@ type AccessResult struct {
 // Access performs one cache access for partition part. nextUse is the
 // trace's precomputed next-use index for OPT ranking (trace.NoNextUse when
 // unknown or unused).
+//
+// Access is the simulator's hottest function; it is verified
+// allocation-free (steady state) by the fslint allocfree analyzer, with
+// the compiler's escape analysis as a cross-check.
+//
+//fs:allocfree
 func (c *Cache) Access(addr uint64, part int, nextUse int64) AccessResult {
 	if part < 0 || part >= c.parts {
 		panicPartRange(part)
@@ -390,6 +405,8 @@ func (c *Cache) Access(addr uint64, part int, nextUse int64) AccessResult {
 }
 
 // choose runs the scheme over valid candidates, applying demotions.
+//
+//fs:allocfree
 func (c *Cache) choose(cands []int, insertPart int) int {
 	if c.allCands {
 		return c.chooseFull(insertPart)
@@ -437,6 +454,8 @@ func (c *Cache) choose(cands []int, insertPart int) int {
 
 // chooseFull is the fully-associative fast path: one candidate per
 // non-empty partition (its most useless line).
+//
+//fs:allocfree
 func (c *Cache) chooseFull(insertPart int) int {
 	c.worstBuf = c.worstBuf[:0]
 	for p := 0; p < c.parts; p++ {
@@ -479,6 +498,8 @@ func (c *Cache) chooseFull(insertPart int) int {
 // Vantage demotes and its observers are no-ops, making the fix
 // behaviour-neutral for existing configurations, but the oracle transcribes
 // the symmetric accounting and the difftest corpus locks it.
+//
+//fs:allocfree
 func (c *Cache) demote(line, to int) {
 	from := c.linePart[line]
 	if from == to {
@@ -494,6 +515,7 @@ func (c *Cache) demote(line, to int) {
 	c.scheme.OnInsert(to)     // ...and fills the destination like an insertion
 }
 
+//fs:allocfree
 func (c *Cache) sampleOccupancy() {
 	for p := 0; p < c.parts; p++ {
 		c.pstats[p].occupancySum += uint64(c.sizes[p])

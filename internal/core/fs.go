@@ -62,6 +62,8 @@ func (f *FSFixed) Alphas() []float64 { return f.alphas }
 
 // Decide implements Scheme: evict the candidate with the largest scaled
 // futility α_p·f.
+//
+//fs:allocfree
 func (f *FSFixed) Decide(cands []Candidate, insertPart int) Decision {
 	best, bestV := 0, -1.0
 	for i := range cands {
@@ -75,6 +77,8 @@ func (f *FSFixed) Decide(cands []Candidate, insertPart int) Decision {
 
 // DecideFull implements FullSelector: on a fully-associative array the
 // largest α_p·f overall is the largest among per-partition worsts.
+//
+//fs:allocfree
 func (f *FSFixed) DecideFull(worst []Candidate, insertPart int) int {
 	best, bestV := 0, -1.0
 	for i := range worst {
@@ -87,9 +91,13 @@ func (f *FSFixed) DecideFull(worst []Candidate, insertPart int) int {
 }
 
 // OnInsert implements Scheme.
+//
+//fs:allocfree
 func (f *FSFixed) OnInsert(part int) {}
 
 // OnEviction implements Scheme.
+//
+//fs:allocfree
 func (f *FSFixed) OnEviction(part int) {}
 
 // FSFeedbackConfig parameterizes the feedback controller.
@@ -175,6 +183,8 @@ func (f *FSFeedback) Alphas() []float64 { return f.alphas }
 // Decide implements Scheme: evict the candidate with the largest scaled raw
 // futility. With the coarse-TS ranker and Δα = 2 this is exactly the
 // hardware's shift-and-compare.
+//
+//fs:allocfree
 func (f *FSFeedback) Decide(cands []Candidate, insertPart int) Decision {
 	best, bestV := 0, -1.0
 	for i := range cands {
@@ -187,6 +197,8 @@ func (f *FSFeedback) Decide(cands []Candidate, insertPart int) Decision {
 }
 
 // DecideFull implements FullSelector.
+//
+//fs:allocfree
 func (f *FSFeedback) DecideFull(worst []Candidate, insertPart int) int {
 	best, bestV := 0, -1.0
 	for i := range worst {
@@ -199,6 +211,8 @@ func (f *FSFeedback) DecideFull(worst []Candidate, insertPart int) int {
 }
 
 // OnInsert implements Scheme (Algorithm 2's insertion counter).
+//
+//fs:allocfree
 func (f *FSFeedback) OnInsert(part int) {
 	f.ins[part]++
 	if f.ins[part] >= f.cfg.Interval {
@@ -207,6 +221,8 @@ func (f *FSFeedback) OnInsert(part int) {
 }
 
 // OnEviction implements Scheme (Algorithm 2's eviction counter).
+//
+//fs:allocfree
 func (f *FSFeedback) OnEviction(part int) {
 	f.evs[part]++
 	if f.evs[part] >= f.cfg.Interval {

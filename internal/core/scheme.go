@@ -50,11 +50,16 @@ type Scheme interface {
 	// The scheme must copy or retain the slice as read-only.
 	SetTargets(targets []int)
 	// Decide selects a victim among cands for an insertion into insertPart.
-	// cands is non-empty and every candidate line is valid.
+	// cands is non-empty and every candidate line is valid. Decide runs on
+	// every miss and must not heap-allocate; a returned Decision.Demote
+	// slice must be a retained buffer owned by the scheme.
+	//fs:allocfree
 	Decide(cands []Candidate, insertPart int) Decision
 	// OnInsert observes a completed insertion into part.
+	//fs:allocfree
 	OnInsert(part int)
 	// OnEviction observes a completed eviction from part.
+	//fs:allocfree
 	OnEviction(part int)
 }
 
@@ -64,5 +69,6 @@ type Scheme interface {
 // materializing a candidate per line.
 type FullSelector interface {
 	// DecideFull selects a victim index into worst.
+	//fs:allocfree
 	DecideFull(worst []Candidate, insertPart int) int
 }

@@ -111,6 +111,8 @@ func (c *CoarseTS) tick(part int) {
 }
 
 // OnInsert implements Ranker.
+//
+//fs:allocfree
 func (c *CoarseTS) OnInsert(line, part int, ctx Context) {
 	if c.present[line] {
 		panic("futility: OnInsert of tracked line")
@@ -122,6 +124,8 @@ func (c *CoarseTS) OnInsert(line, part int, ctx Context) {
 }
 
 // OnHit implements Ranker.
+//
+//fs:allocfree
 func (c *CoarseTS) OnHit(line, part int, ctx Context) {
 	if !c.present[line] {
 		panic("futility: OnHit of untracked line")
@@ -131,6 +135,8 @@ func (c *CoarseTS) OnHit(line, part int, ctx Context) {
 }
 
 // OnEvict implements Ranker.
+//
+//fs:allocfree
 func (c *CoarseTS) OnEvict(line, part int) {
 	if !c.present[line] {
 		panic("futility: OnEvict of untracked line")
@@ -140,6 +146,8 @@ func (c *CoarseTS) OnEvict(line, part int) {
 }
 
 // OnMove implements Ranker.
+//
+//fs:allocfree
 func (c *CoarseTS) OnMove(from, to, part int) {
 	if !c.present[from] {
 		panic("futility: OnMove of untracked line")
@@ -153,6 +161,8 @@ func (c *CoarseTS) OnMove(from, to, part int) {
 }
 
 // Raw implements Ranker: the 8-bit timestamp distance.
+//
+//fs:allocfree
 func (c *CoarseTS) Raw(line, part int) uint64 {
 	if !c.present[line] {
 		panic("futility: Raw of untracked line")
@@ -164,6 +174,8 @@ func (c *CoarseTS) Raw(line, part int) uint64 {
 
 // Futility implements Ranker: the empirical CDF position of the line's
 // distance among recently observed distances in its partition.
+//
+//fs:allocfree
 func (c *CoarseTS) Futility(line, part int) float64 {
 	if !c.present[line] {
 		panic("futility: Futility of untracked line")
@@ -181,6 +193,8 @@ func (c *CoarseTS) Futility(line, part int) float64 {
 // calls each pay the tsDist + observe work. The sequence below is exactly
 // Futility followed by Raw — including Raw's second histogram observation,
 // which is sealed behaviour the CDF calibration depends on.
+//
+//fs:allocfree
 func (c *CoarseTS) FutilityRaw(line, part int) (float64, uint64) {
 	if !c.present[line] {
 		panic("futility: Futility of untracked line")
@@ -196,6 +210,8 @@ func (c *CoarseTS) FutilityRaw(line, part int) (float64, uint64) {
 }
 
 // Size implements Ranker.
+//
+//fs:allocfree
 func (c *CoarseTS) Size(part int) int { return c.size[part] }
 
 func (c *CoarseTS) observe(part int, d uint8) {

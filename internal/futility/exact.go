@@ -61,6 +61,8 @@ func (r *ostRanker) set(line, part int, primary uint64) {
 }
 
 // OnEvict implements Ranker.
+//
+//fs:allocfree
 func (r *ostRanker) OnEvict(line, part int) {
 	if !r.present[line] {
 		panic("futility: OnEvict of untracked line")
@@ -71,6 +73,8 @@ func (r *ostRanker) OnEvict(line, part int) {
 }
 
 // OnMove implements Ranker.
+//
+//fs:allocfree
 func (r *ostRanker) OnMove(from, to, part int) {
 	if !r.present[from] {
 		panic("futility: OnMove of untracked line")
@@ -105,27 +109,37 @@ func (r *ostRanker) futilityOf(line, part int) float64 {
 }
 
 // Futility implements Ranker: ascending rank / partition size.
+//
+//fs:allocfree
 func (r *ostRanker) Futility(line, part int) float64 {
 	return r.futilityOf(line, part)
 }
 
 // Raw implements Ranker. For exact rankers Raw is the futility scaled to 32
 // bits, so raw ordering matches normalized ordering.
+//
+//fs:allocfree
 func (r *ostRanker) Raw(line, part int) uint64 {
 	return uint64(r.futilityOf(line, part) * (1 << 32))
 }
 
 // FutilityRaw implements FastRanker with one rank traversal instead of the
 // two that separate Futility and Raw calls would cost.
+//
+//fs:allocfree
 func (r *ostRanker) FutilityRaw(line, part int) (float64, uint64) {
 	f := r.futilityOf(line, part)
 	return f, uint64(f * (1 << 32))
 }
 
 // Size implements Ranker.
+//
+//fs:allocfree
 func (r *ostRanker) Size(part int) int { return r.trees[part].Len() }
 
 // Worst implements WorstTracker.
+//
+//fs:allocfree
 func (r *ostRanker) Worst(part int) int {
 	if r.trees[part].Len() == 0 {
 		return -1
@@ -147,6 +161,8 @@ func NewExactLRU(lines, parts int, seed uint64) *ExactLRU {
 }
 
 // OnInsert implements Ranker.
+//
+//fs:allocfree
 func (r *ExactLRU) OnInsert(line, part int, ctx Context) {
 	if r.present[line] {
 		panic("futility: OnInsert of tracked line")
@@ -155,6 +171,8 @@ func (r *ExactLRU) OnInsert(line, part int, ctx Context) {
 }
 
 // OnHit implements Ranker.
+//
+//fs:allocfree
 func (r *ExactLRU) OnHit(line, part int, ctx Context) {
 	r.set(line, part, ^ctx.Seq)
 }
@@ -176,6 +194,8 @@ func NewExactLFU(lines, parts int, seed uint64) *ExactLFU {
 }
 
 // OnInsert implements Ranker.
+//
+//fs:allocfree
 func (r *ExactLFU) OnInsert(line, part int, ctx Context) {
 	if r.present[line] {
 		panic("futility: OnInsert of tracked line")
@@ -185,12 +205,16 @@ func (r *ExactLFU) OnInsert(line, part int, ctx Context) {
 }
 
 // OnHit implements Ranker.
+//
+//fs:allocfree
 func (r *ExactLFU) OnHit(line, part int, ctx Context) {
 	r.freq[line]++
 	r.set(line, part, ^r.freq[line])
 }
 
 // OnMove implements Ranker, additionally moving the frequency counter.
+//
+//fs:allocfree
 func (r *ExactLFU) OnMove(from, to, part int) {
 	r.ostRanker.OnMove(from, to, part)
 	r.freq[to] = r.freq[from]
@@ -210,6 +234,8 @@ func NewExactOPT(lines, parts int, seed uint64) *ExactOPT {
 }
 
 // OnInsert implements Ranker.
+//
+//fs:allocfree
 func (r *ExactOPT) OnInsert(line, part int, ctx Context) {
 	if r.present[line] {
 		panic("futility: OnInsert of tracked line")
@@ -218,6 +244,8 @@ func (r *ExactOPT) OnInsert(line, part int, ctx Context) {
 }
 
 // OnHit implements Ranker.
+//
+//fs:allocfree
 func (r *ExactOPT) OnHit(line, part int, ctx Context) {
 	r.set(line, part, uint64(ctx.NextUse))
 }

@@ -26,24 +26,37 @@ type Context struct {
 // Ranker maintains futility state for resident lines, keyed by line index.
 // The controller guarantees: OnInsert for a line precedes any OnHit/OnEvict;
 // OnEvict removes it; OnMove relocates state between line indices (zcache).
+//
+// Every per-access method is declared //fs:allocfree: the replacement
+// pipeline invokes them on every hit and miss, and the PR-3 zero-allocation
+// contract holds only if implementations never touch the heap in steady
+// state. The fslint allocfree analyzer verifies each annotated
+// implementation and treats these interface calls as trusted boundaries.
 type Ranker interface {
 	// Name identifies the ranking scheme.
 	Name() string
 	// OnInsert registers line as resident in partition part.
+	//fs:allocfree
 	OnInsert(line, part int, ctx Context)
 	// OnHit refreshes the line's futility on an access hit.
+	//fs:allocfree
 	OnHit(line, part int, ctx Context)
 	// OnEvict removes the line's state.
+	//fs:allocfree
 	OnEvict(line, part int)
 	// OnMove transfers the state of line from to line to (same partition).
+	//fs:allocfree
 	OnMove(from, to, part int)
 	// Futility returns the normalized futility of a resident line, in (0,1].
+	//fs:allocfree
 	Futility(line, part int) float64
 	// Raw returns the scheme's raw futility measure for a resident line;
 	// larger is more useless. Only comparable within one partition unless
 	// the scheme documents otherwise.
+	//fs:allocfree
 	Raw(line, part int) uint64
 	// Size returns the number of resident lines tracked in part.
+	//fs:allocfree
 	Size(part int) int
 }
 
@@ -57,6 +70,7 @@ type FastRanker interface {
 	Ranker
 	// FutilityRaw returns Futility(line, part) and Raw(line, part) as if the
 	// two were called back to back.
+	//fs:allocfree
 	FutilityRaw(line, part int) (float64, uint64)
 }
 
@@ -64,6 +78,7 @@ type FastRanker interface {
 // line of a partition in O(log M); the FullAssoc ideal scheme requires it.
 type WorstTracker interface {
 	// Worst returns the line with maximal futility in part, or -1 if empty.
+	//fs:allocfree
 	Worst(part int) int
 }
 

@@ -49,6 +49,8 @@ func slruKey(probation bool, seq uint64) uint64 {
 }
 
 // OnInsert implements Ranker: new lines enter probation.
+//
+//fs:allocfree
 func (s *SLRU) OnInsert(line, part int, ctx Context) {
 	if s.present[line] {
 		panic("futility: OnInsert of tracked line")
@@ -60,6 +62,8 @@ func (s *SLRU) OnInsert(line, part int, ctx Context) {
 // OnHit implements Ranker: a probation hit promotes the line to protected,
 // demoting the protected LRU back to probation if the segment is over its
 // cap; a protected hit refreshes recency.
+//
+//fs:allocfree
 func (s *SLRU) OnHit(line, part int, ctx Context) {
 	if !s.present[line] {
 		panic("futility: OnHit of untracked line")
@@ -101,6 +105,8 @@ func (s *SLRU) OnHit(line, part int, ctx Context) {
 }
 
 // OnEvict implements Ranker.
+//
+//fs:allocfree
 func (s *SLRU) OnEvict(line, part int) {
 	if s.present[line] && s.protected[line] {
 		s.protectedCount[part]--
@@ -110,6 +116,8 @@ func (s *SLRU) OnEvict(line, part int) {
 }
 
 // OnMove implements Ranker.
+//
+//fs:allocfree
 func (s *SLRU) OnMove(from, to, part int) {
 	s.ostRanker.OnMove(from, to, part)
 	s.protected[to] = s.protected[from]

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"sync"
 )
 
 // Journal is a crash-safe record of completed task IDs: one JSON object
@@ -15,12 +16,21 @@ import (
 // (scale and seed, for fstables). Opening a journal whose recorded scope
 // differs from the requested one truncates it — results from a different
 // scale or seed must never be "resumed" into this sweep.
+//
+// A Journal is safe for concurrent use: Done, MarkDone, Len and Close may
+// be called from multiple goroutines (a future parallel RunAll marks
+// completions from worker goroutines), with mu serializing both the done
+// index and the buffered writer.
 type Journal struct {
 	path  string
 	scope string
-	done  map[string]bool
-	f     *os.File
-	w     *bufio.Writer
+
+	mu sync.Mutex
+	//fs:guardedby mu
+	done map[string]bool
+	f    *os.File
+	//fs:guardedby mu
+	w *bufio.Writer
 }
 
 type journalLine struct {
@@ -36,6 +46,10 @@ type journalLine struct {
 // resume", never to skipping work that was not actually done.
 func OpenJournal(path, scope string) (*Journal, error) {
 	j := &Journal{path: path, scope: scope, done: map[string]bool{}}
+	// The journal is not shared yet, but holding mu keeps the guarded
+	// accesses below honest and publishes the fields safely.
+	j.mu.Lock()
+	defer j.mu.Unlock()
 	if data, err := os.ReadFile(path); err == nil {
 		j.load(data)
 	}
@@ -62,6 +76,8 @@ func OpenJournal(path, scope string) (*Journal, error) {
 
 // load parses previous contents, keeping completed IDs only when the
 // scope header matches.
+//
+//fs:callerholds mu
 func (j *Journal) load(data []byte) {
 	var done []string
 	scopeOK := false
@@ -97,6 +113,7 @@ func (j *Journal) load(data []byte) {
 	}
 }
 
+//fs:callerholds mu
 func (j *Journal) writeLine(l journalLine) error {
 	b, err := json.Marshal(l)
 	if err != nil {
@@ -112,10 +129,16 @@ func (j *Journal) writeLine(l journalLine) error {
 }
 
 // Done reports whether id is recorded as completed.
-func (j *Journal) Done(id string) bool { return j.done[id] }
+func (j *Journal) Done(id string) bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.done[id]
+}
 
 // MarkDone records id as completed and flushes it to disk.
 func (j *Journal) MarkDone(id string) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
 	if j.done[id] {
 		return nil
 	}
@@ -124,10 +147,16 @@ func (j *Journal) MarkDone(id string) error {
 }
 
 // Len returns the number of completed IDs recorded.
-func (j *Journal) Len() int { return len(j.done) }
+func (j *Journal) Len() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return len(j.done)
+}
 
 // Close flushes and closes the underlying file.
 func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
 	if err := j.w.Flush(); err != nil {
 		j.f.Close()
 		return fmt.Errorf("harness: journal flush: %w", err)

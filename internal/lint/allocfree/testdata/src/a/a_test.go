@@ -1,0 +1,10 @@
+package a
+
+// Annotations inside _test.go files participate like any other: this
+// benchmark helper is held to the same contract.
+
+//fs:allocfree
+func BenchHelper(c *C, x int) int {
+	s := make([]int, x) // want `make allocates`
+	return len(s) + c.Hot(x)
+}

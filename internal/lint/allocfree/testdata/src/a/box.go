@@ -1,0 +1,25 @@
+package a
+
+//fs:allocfree
+func Box(x int, p *int) {
+	var i interface{} = x // want `value of type int is boxed into an interface`
+	_ = i
+	var j interface{} = p // ok: pointer-shaped values are direct interfaces
+	_ = j
+	var k interface{} = 7 // ok: constants box into static descriptors
+	_ = k
+	sink(x) // want `value of type int is boxed into an interface`
+	sink(p)
+	variadic("a", x, p) // want `value of type int is boxed into an interface`
+}
+
+//fs:allocfree
+func BoxAssignReturn(x int) interface{} {
+	var i interface{}
+	i = x // want `value of type int is boxed into an interface`
+	_ = i
+	return x // want `value of type int is boxed into an interface`
+}
+
+func sink(v interface{})                     {}
+func variadic(f string, args ...interface{}) {}

@@ -1,0 +1,33 @@
+package a
+
+//fs:allocfree
+func Closures(xs []int) int {
+	total := 0
+	add := func(v int) { total += v } // ok: local binding, only ever called
+	for _, v := range xs {
+		add(v)
+	}
+	f := func() int { return total } // want `closure capturing total escapes`
+	return take(f) + iife(xs)
+}
+
+// take receives the closure; its own body must stay clean too since it is
+// reached from Closures.
+func take(f func() int) int { return 0 }
+
+//fs:allocfree
+func iife(xs []int) int {
+	return func() int { return len(xs) }() // ok: immediately invoked
+}
+
+//fs:allocfree
+func StaticClosure() func() int {
+	return func() int { return 42 } // ok: captures nothing, static closure
+}
+
+//fs:allocfree
+func MethodValue(c *C) func(int) int {
+	return c.Mul // want `method value c\.Mul allocates`
+}
+
+func (c *C) Mul(x int) int { return x }

@@ -1,0 +1,40 @@
+package a
+
+import (
+	"math"
+	"strings"
+)
+
+type node struct{ v int }
+
+//fs:allocfree
+func Lit(n int) node {
+	p := &node{v: n} // want `address-of composite literal allocates`
+	val := node{v: n}
+	_ = p
+	return val // ok: value composite literals stay on the stack
+}
+
+//fs:allocfree
+func Conv(b []byte, n int) string {
+	s := string(b) // want `conversion from \[\]byte to string allocates`
+	_ = []byte(s)  // want `conversion from string to \[\]byte allocates`
+	go spin()      // want `go statement allocates`
+	return s
+}
+
+func spin() {}
+
+//fs:allocfree
+func Ext(s string, f func()) float64 {
+	_ = strings.ToUpper(s)            // want `call to strings\.ToUpper cannot be verified as allocation-free`
+	f()                               // want `call through func value f cannot be verified as allocation-free`
+	return math.Sqrt(float64(len(s))) // ok: math is a trusted pure package
+}
+
+//fs:allocfree
+func Maps(m map[int]int, k int) int {
+	m[k] = k + 1 // ok by design: steady-state map writes amortize to zero
+	delete(m, k)
+	return m[k]
+}

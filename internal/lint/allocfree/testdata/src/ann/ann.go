@@ -1,0 +1,56 @@
+// Package ann exercises the //fs: annotation parser's error paths: every
+// malformed or misplaced annotation must be diagnosed (under the fslint
+// meta-analyzer) rather than silently ignored.
+package ann
+
+import "sync"
+
+//fs:allocfree extra words // want `//fs:allocfree takes no arguments`
+func Extra() {}
+
+//fs:frobnicate // want `unknown annotation //fs:frobnicate`
+func Unknown() {}
+
+//fs:guardedby mu // want `//fs:guardedby annotates struct fields, not functions`
+func Misplaced() {}
+
+type S struct {
+	mu sync.Mutex //fs:guardedby mu // want `a mutex cannot guard itself`
+	x  int        //fs:guardedby nope // want `//fs:guardedby names "nope", which is not a field of S`
+	y  int        //fs:guardedby x // want `guard S\.x is not a sync\.Mutex`
+	z  int        //fs:allocfree // want `//fs:allocfree on a struct field requires a func-typed field`
+	ok int        //fs:guardedby mu
+}
+
+// Lock and Unlock let the self-guard fixture compile without lockcheck
+// noise; ok is properly guarded.
+func (s *S) Get() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.ok
+}
+
+//fs:allocfree // want `//fs:allocfree is misplaced: it must be attached to a function, interface method, or struct field declaration`
+var BoundMethod = (&S{}).Get
+
+func body() {
+	//fs:allocfree // want `//fs:allocfree is misplaced: it must be attached to a function, interface method, or struct field declaration`
+	f := func() {}
+	f()
+}
+
+type Iface interface {
+	//fs:guardedby mu // want `//fs:guardedby cannot annotate an interface method \(only //fs:allocfree can\)`
+	M()
+}
+
+//fs:lockorder S.mu S.mu // want `//fs:lockorder: the two mutexes must differ`
+type Orders struct {
+	mu sync.Mutex
+}
+
+//fs:lockorder S.nope S.mu // want `//fs:lockorder: S has no field "nope"`
+type Orders2 struct{}
+
+//fs:lockorder onearg // want `//fs:lockorder wants exactly two Type.field arguments, got 1`
+type Orders3 struct{}

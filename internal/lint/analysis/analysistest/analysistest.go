@@ -32,12 +32,22 @@ import (
 // between actual findings and // want expectations through t.
 func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgs ...string) {
 	t.Helper()
+	RunAll(t, testdata, []*analysis.Analyzer{a}, pkgs...)
+}
+
+// RunAll is Run with several analyzers active at once, for module-level
+// analyzers that judge the combined outcome (staleignore needs the
+// analyzer a suppression names to be running before the suppression can
+// be judged stale). Expectations match findings from any of them,
+// including the runner's own "fslint" meta-findings.
+func RunAll(t *testing.T, testdata string, analyzers []*analysis.Analyzer, pkgs ...string) {
+	t.Helper()
 	for _, pkg := range pkgs {
-		runOne(t, testdata, a, pkg)
+		runOne(t, testdata, analyzers, pkg)
 	}
 }
 
-func runOne(t *testing.T, testdata string, a *analysis.Analyzer, pkg string) {
+func runOne(t *testing.T, testdata string, analyzers []*analysis.Analyzer, pkg string) {
 	t.Helper()
 	dir := filepath.Join(testdata, "src", pkg)
 	names, err := filepath.Glob(filepath.Join(dir, "*.go"))
@@ -52,9 +62,9 @@ func runOne(t *testing.T, testdata string, a *analysis.Analyzer, pkg string) {
 		t.Fatalf("%s: %v", pkg, err)
 	}
 
-	findings, err := analysis.Run([]*analysis.Unit{unit}, []*analysis.Analyzer{a})
+	findings, err := analysis.Run([]*analysis.Unit{unit}, analyzers)
 	if err != nil {
-		t.Fatalf("%s: running %s: %v", pkg, a.Name, err)
+		t.Fatalf("%s: running analyzers: %v", pkg, err)
 	}
 
 	wants := expectations(t, fset, unit)
@@ -161,8 +171,11 @@ type expectation struct {
 
 type expectationSet map[lineKey][]*expectation
 
-// wantRE extracts the body of a // want comment.
-var wantRE = regexp.MustCompile(`^//\s*want\s+(.*)$`)
+// wantRE extracts the body of a // want comment. It is not anchored to
+// the comment start: an expectation may trail other comment content on
+// the same line (`//fs:guardedby mu // want "..."`), which is the only
+// way to expect a finding reported at a directive's own position.
+var wantRE = regexp.MustCompile(`//\s*want\s+(.*)$`)
 
 // quotedRE extracts each double- or back-quoted regexp from a want body.
 var quotedRE = regexp.MustCompile(`"(?:[^"\\]|\\.)*"` + "|`[^`]*`")

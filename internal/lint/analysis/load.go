@@ -23,6 +23,16 @@ type Unit struct {
 	PkgPath string
 	PkgName string
 
+	// Dir is the package's source directory on disk. It is empty for
+	// units synthesized outside `go list` (the analysistest harness), in
+	// which case toolchain-backed checks (the allocfree escape audit)
+	// are skipped for the unit.
+	Dir string
+
+	// Test marks units whose reportable files are _test.go files (both
+	// in-package and external test packages).
+	Test bool
+
 	Fset *token.FileSet
 
 	// Files are the unit's reportable syntax trees; OtherFiles complete
@@ -109,6 +119,7 @@ func Load(dir string, patterns []string) ([]*Unit, error) {
 			if err != nil {
 				return nil, err
 			}
+			u.Dir = p.Dir
 			units = append(units, u)
 		}
 		if len(p.TestGoFiles) > 0 {
@@ -120,6 +131,8 @@ func Load(dir string, patterns []string) ([]*Unit, error) {
 			if err != nil {
 				return nil, err
 			}
+			u.Dir = p.Dir
+			u.Test = true
 			units = append(units, u)
 		}
 		if len(p.XTestGoFiles) > 0 {
@@ -131,6 +144,8 @@ func Load(dir string, patterns []string) ([]*Unit, error) {
 			if err != nil {
 				return nil, err
 			}
+			u.Dir = p.Dir
+			u.Test = true
 			units = append(units, u)
 		}
 	}

@@ -6,6 +6,7 @@ import (
 	"go/token"
 	"regexp"
 	"sort"
+	"strings"
 )
 
 // Finding is a resolved diagnostic: analyzer name plus concrete position.
@@ -19,13 +20,82 @@ func (f Finding) String() string {
 	return fmt.Sprintf("%s:%d:%d: %s (%s)", f.Pos.Filename, f.Pos.Line, f.Pos.Column, f.Message, f.Analyzer)
 }
 
-// Run applies each analyzer to each unit, drops findings suppressed by
-// //fslint:ignore comments and returns the rest sorted by position.
+// MetaAnalyzer is the name under which the runner itself reports findings
+// about the lint apparatus: //fslint:ignore comments naming unknown
+// analyzers, and malformed //fs: annotations.
+const MetaAnalyzer = "fslint"
+
+// Options configures a Run.
+type Options struct {
+	// Known lists every analyzer name that may legally appear in an
+	// //fslint:ignore comment — normally the full registry, which can
+	// be wider than the analyzers actually running (fslint -analyzers
+	// selects a subset but a comment naming a deselected analyzer is
+	// still well-formed). Empty means: the running analyzers' names.
+	Known []string
+}
+
+// Run applies each analyzer to each unit with default options. See RunOpts.
 func Run(units []*Unit, analyzers []*Analyzer) ([]Finding, error) {
-	var findings []Finding
-	for _, u := range units {
-		supp := suppressions(u)
+	return RunOpts(units, analyzers, Options{})
+}
+
+// RunOpts applies the analyzers to the loaded units and returns the
+// surviving findings sorted by position. The sequence is:
+//
+//  1. //fslint:ignore comments are indexed module-wide; comments naming
+//     an unknown analyzer are themselves reported (under "fslint").
+//  2. Per-unit passes run (Analyzer.Run).
+//  3. If any analyzer has a module pass, the call graph and //fs:
+//     annotation index are built — malformed annotations are reported
+//     under "fslint" — and module passes run (Analyzer.RunModule).
+//  4. AfterSuppression module passes run last, with the accumulated
+//     suppression-usage record; their findings bypass //fslint:ignore
+//     filtering (they are findings about the suppressions themselves).
+//
+// All other findings are filtered through the suppression index, which
+// records which comments absorbed something.
+func RunOpts(units []*Unit, analyzers []*Analyzer, opts Options) ([]Finding, error) {
+	known := map[string]bool{MetaAnalyzer: true}
+	for _, name := range opts.Known {
+		known[name] = true
+	}
+	if len(opts.Known) == 0 {
 		for _, a := range analyzers {
+			known[a.Name] = true
+		}
+	}
+
+	supp := indexSuppressions(units)
+
+	var findings []Finding
+	report := func(analyzer string, fset *token.FileSet, d Diagnostic, filter bool) {
+		pos := fset.Position(d.Pos)
+		if filter && supp.covers(analyzer, pos) {
+			return
+		}
+		findings = append(findings, Finding{Analyzer: analyzer, Pos: pos, Message: d.Message})
+	}
+
+	// 1. Reject suppression comments naming unknown analyzers: a typo
+	// would otherwise suppress nothing and report nothing.
+	for _, s := range supp.records {
+		for _, name := range s.Names {
+			if !known[name] {
+				report(MetaAnalyzer, s.fset, Diagnostic{
+					Pos:     s.Pos,
+					Message: fmt.Sprintf("//fslint:ignore names unknown analyzer %q", name),
+				}, true)
+			}
+		}
+	}
+
+	// 2. Per-unit passes.
+	for _, u := range units {
+		for _, a := range analyzers {
+			if a.Run == nil {
+				continue
+			}
 			pass := &Pass{
 				Analyzer:   a,
 				Fset:       u.Fset,
@@ -36,18 +106,65 @@ func Run(units []*Unit, analyzers []*Analyzer) ([]Finding, error) {
 				TypesInfo:  u.Info,
 			}
 			name := a.Name
-			pass.Report = func(d Diagnostic) {
-				pos := u.Fset.Position(d.Pos)
-				if supp.covers(name, pos) {
-					return
-				}
-				findings = append(findings, Finding{Analyzer: name, Pos: pos, Message: d.Message})
-			}
+			pass.Report = func(d Diagnostic) { report(name, u.Fset, d, true) }
 			if err := a.Run(pass); err != nil {
 				return nil, fmt.Errorf("%s: %s: %v", a.Name, u.PkgPath, err)
 			}
 		}
 	}
+
+	// 3. Module passes.
+	var modular, late []*Analyzer
+	for _, a := range analyzers {
+		switch {
+		case a.RunModule == nil:
+		case a.AfterSuppression:
+			late = append(late, a)
+		default:
+			modular = append(modular, a)
+		}
+	}
+	if len(modular)+len(late) > 0 && len(units) > 0 {
+		fset := units[0].Fset
+		graph := NewCallGraph(units)
+		ann := ParseAnnotations(units)
+		for _, d := range ann.Diags {
+			report(MetaAnalyzer, fset, d, true)
+		}
+		active := []string{MetaAnalyzer}
+		for _, a := range analyzers {
+			active = append(active, a.Name)
+		}
+		runModule := func(a *Analyzer, uses []*SuppressionUse, filter bool) error {
+			mp := &ModulePass{
+				Analyzer:     a,
+				Fset:         fset,
+				Units:        units,
+				CallGraph:    graph,
+				Annotations:  ann,
+				Active:       active,
+				Suppressions: uses,
+			}
+			name := a.Name
+			mp.Report = func(d Diagnostic) { report(name, fset, d, filter) }
+			if err := a.RunModule(mp); err != nil {
+				return fmt.Errorf("%s: %v", a.Name, err)
+			}
+			return nil
+		}
+		for _, a := range modular {
+			if err := runModule(a, nil, true); err != nil {
+				return nil, err
+			}
+		}
+		// 4. AfterSuppression passes see the settled usage record.
+		for _, a := range late {
+			if err := runModule(a, supp.uses(), false); err != nil {
+				return nil, err
+			}
+		}
+	}
+
 	sort.Slice(findings, func(i, j int) bool {
 		a, b := findings[i], findings[j]
 		if a.Pos.Filename != b.Pos.Filename {
@@ -59,68 +176,131 @@ func Run(units []*Unit, analyzers []*Analyzer) ([]Finding, error) {
 		if a.Pos.Column != b.Pos.Column {
 			return a.Pos.Column < b.Pos.Column
 		}
-		return a.Analyzer < b.Analyzer
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
 	})
-	return findings, nil
+	return dedupe(findings), nil
 }
 
-// ignoreRE matches suppression comments: //fslint:ignore name[,name...] reason
-var ignoreRE = regexp.MustCompile(`fslint:ignore\s+([A-Za-z0-9_,]+)`)
+// dedupe drops exact duplicates from sorted findings (a module pass can
+// reach the same diagnostic through several annotated roots).
+func dedupe(fs []Finding) []Finding {
+	out := fs[:0]
+	for i, f := range fs {
+		if i > 0 && f == fs[i-1] {
+			continue
+		}
+		out = append(out, f)
+	}
+	return out
+}
 
-// suppressionSet records, per file and line, the analyzer names suppressed
-// there. A comment suppresses its own line and the line directly below it,
-// so both trailing comments and comments above the offending statement work.
-type suppressionSet map[string]map[int]map[string]bool
+// ignoreRE matches suppression comments — //fslint:ignore name[,name...]
+// reason — anchored to the start of the comment so that prose merely
+// *mentioning* the syntax (an indented example in a doc comment, say)
+// does not register a suppression.
+var ignoreRE = regexp.MustCompile(`^//\s*fslint:ignore\s+([A-Za-z0-9_,]+)(.*)$`)
 
-func suppressions(u *Unit) suppressionSet {
-	set := suppressionSet{}
-	for _, f := range u.AllASTs() {
-		for _, cg := range f.Comments {
-			for _, c := range cg.List {
-				m := ignoreRE.FindStringSubmatch(c.Text)
-				if m == nil {
-					continue
-				}
-				pos := u.Fset.Position(c.Pos())
-				byLine := set[pos.Filename]
-				if byLine == nil {
-					byLine = map[int]map[string]bool{}
-					set[pos.Filename] = byLine
-				}
-				for _, line := range []int{pos.Line, pos.Line + 1} {
-					names := byLine[line]
-					if names == nil {
-						names = map[string]bool{}
-						byLine[line] = names
+// suppRecord is one //fslint:ignore comment with its usage record.
+type suppRecord struct {
+	SuppressionUse
+	fset *token.FileSet
+}
+
+// suppIndex indexes every suppression comment in the module, by file and
+// effective line. A comment suppresses its own line and the line directly
+// below it, so both trailing comments and comments above the offending
+// statement work.
+type suppIndex struct {
+	byLine  map[string]map[int][]*suppRecord
+	records []*suppRecord
+}
+
+// indexSuppressions scans every unit. Library files are re-parsed into
+// test units as OtherFiles but share AST nodes and the fset, so records
+// are deduped by position: each comment yields exactly one record no
+// matter how many units its file appears in.
+func indexSuppressions(units []*Unit) *suppIndex {
+	idx := &suppIndex{byLine: map[string]map[int][]*suppRecord{}}
+	seen := map[token.Position]bool{}
+	for _, u := range units {
+		for _, f := range u.AllASTs() {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					m := ignoreRE.FindStringSubmatch(c.Text)
+					if m == nil {
+						continue
 					}
-					for _, name := range splitComma(m[1]) {
-						names[name] = true
+					pos := u.Fset.Position(c.Pos())
+					if seen[pos] {
+						continue
+					}
+					seen[pos] = true
+					rec := &suppRecord{
+						SuppressionUse: SuppressionUse{
+							File:  pos.Filename,
+							Line:  pos.Line,
+							Pos:   c.Pos(),
+							Names: splitComma(m[1]),
+							Used:  map[string]bool{},
+						},
+						fset: u.Fset,
+					}
+					idx.records = append(idx.records, rec)
+					byLine := idx.byLine[pos.Filename]
+					if byLine == nil {
+						byLine = map[int][]*suppRecord{}
+						idx.byLine[pos.Filename] = byLine
+					}
+					for _, line := range []int{pos.Line, pos.Line + 1} {
+						byLine[line] = append(byLine[line], rec)
 					}
 				}
 			}
 		}
 	}
-	return set
+	return idx
 }
 
-func (s suppressionSet) covers(analyzer string, pos token.Position) bool {
-	return s[pos.Filename][pos.Line][analyzer]
+// covers reports whether a finding by analyzer at pos is suppressed, and
+// marks the absorbing comment used.
+func (s *suppIndex) covers(analyzer string, pos token.Position) bool {
+	hit := false
+	for _, rec := range s.byLine[pos.Filename][pos.Line] {
+		for _, name := range rec.Names {
+			if name == analyzer {
+				rec.Used[name] = true
+				hit = true
+			}
+		}
+	}
+	return hit
+}
+
+// uses snapshots the per-comment usage for AfterSuppression passes, in
+// stable position order.
+func (s *suppIndex) uses() []*SuppressionUse {
+	out := make([]*SuppressionUse, 0, len(s.records))
+	for _, rec := range s.records {
+		out = append(out, &rec.SuppressionUse)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].File != out[j].File {
+			return out[i].File < out[j].File
+		}
+		return out[i].Line < out[j].Line
+	})
+	return out
 }
 
 func splitComma(s string) []string {
 	var out []string
-	for len(s) > 0 {
-		i := 0
-		for i < len(s) && s[i] != ',' {
-			i++
+	for _, part := range strings.Split(s, ",") {
+		if part != "" {
+			out = append(out, part)
 		}
-		if i > 0 {
-			out = append(out, s[:i])
-		}
-		if i == len(s) {
-			break
-		}
-		s = s[i+1:]
 	}
 	return out
 }

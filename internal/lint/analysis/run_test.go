@@ -1,0 +1,95 @@
+package analysis_test
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"strings"
+	"testing"
+
+	"fscache/internal/lint/analysis"
+	"fscache/internal/lint/staleignore"
+)
+
+// parseUnit type-checks one import-free source file into a Unit.
+func parseUnit(t *testing.T, src string) *analysis.Unit {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := analysis.NewTypesInfo()
+	pkg, err := (&types.Config{}).Check("p", fset, []*ast.File{f}, info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &analysis.Unit{
+		PkgPath: "p", PkgName: "p", Fset: fset,
+		Files: []*ast.File{f}, Pkg: pkg, Info: info,
+	}
+}
+
+// TestUnknownIgnoreRejected: a typo'd analyzer name in //fslint:ignore
+// must become a finding, not a silent no-op.
+func TestUnknownIgnoreRejected(t *testing.T) {
+	unit := parseUnit(t, `package p
+
+//fslint:ignore allocfreee the trailing e is a typo
+var X = 1
+`)
+	findings, err := analysis.RunOpts([]*analysis.Unit{unit}, nil,
+		analysis.Options{Known: []string{"allocfree"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 1 {
+		t.Fatalf("got %d findings, want 1: %v", len(findings), findings)
+	}
+	f := findings[0]
+	if f.Analyzer != analysis.MetaAnalyzer ||
+		!strings.Contains(f.Message, `unknown analyzer "allocfreee"`) {
+		t.Errorf("unexpected finding: %s", f)
+	}
+}
+
+// TestDeselectedAnalyzerNotJudged: when Known is wider than the running
+// set (fslint -analyzers=... selects a subset), a comment naming a
+// deselected analyzer is neither rejected as unknown nor condemned as
+// stale — its analyzer simply didn't get a chance to use it.
+func TestDeselectedAnalyzerNotJudged(t *testing.T) {
+	unit := parseUnit(t, `package p
+
+//fslint:ignore allocfree the annotated caller is in another package
+var X = 1
+`)
+	findings, err := analysis.RunOpts([]*analysis.Unit{unit},
+		[]*analysis.Analyzer{staleignore.New()},
+		analysis.Options{Known: []string{"allocfree", "staleignore"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 0 {
+		t.Errorf("got findings for a deselected analyzer's suppression: %v", findings)
+	}
+}
+
+// TestStaleIgnoreSameRunnerDefaults: with no Known override the running
+// set is the registry, so a suppression naming a running analyzer that
+// reported nothing is judged stale.
+func TestStaleIgnoreSameRunnerDefaults(t *testing.T) {
+	unit := parseUnit(t, `package p
+
+//fslint:ignore staleignore self-referential and useless
+var X = 1
+`)
+	findings, err := analysis.RunOpts([]*analysis.Unit{unit},
+		[]*analysis.Analyzer{staleignore.New()}, analysis.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 1 || !strings.Contains(findings[0].Message, "suppresses nothing") {
+		t.Errorf("got %v, want one stale-suppression finding", findings)
+	}
+}

@@ -1,0 +1,339 @@
+// Package lockcheck implements the fslint analyzer that proves the
+// shardcache lock discipline at lint time.
+//
+// Struct fields annotated //fs:guardedby mu may only be read or written
+// in functions that textually acquire that mutex on the same base
+// expression earlier in the body (s.mu.Lock() before s.demand[i]++), or
+// in functions annotated //fs:callerholds mu, the documented convention
+// for helpers invoked with the lock already held. For sync.RWMutex
+// guards, reads accept RLock; writes require the exclusive Lock.
+//
+// //fs:lockorder A.mu B.mu on a struct type declares that A.mu is always
+// acquired before B.mu; the analyzer scans each function's lock events
+// in source order and reports acquisitions of A.mu at a point where B.mu
+// is still held.
+//
+// The analysis is intraprocedural and linear: a Lock anywhere earlier in
+// the same function satisfies the guard for the rest of the body even if
+// an Unlock intervenes, and function literals are independent scopes
+// that inherit neither held locks nor callerholds exemptions (a closure
+// spawned as a goroutine really does start lock-free; a closure invoked
+// inline under the lock needs a //fslint:ignore with justification).
+// Composite-literal construction (shard{demand: ...}) is naturally
+// exempt: a value that has not escaped its constructor needs no lock.
+package lockcheck
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"fscache/internal/lint/analysis"
+)
+
+// Doc is the analyzer description.
+const Doc = "check that //fs:guardedby fields are accessed under their mutex and //fs:lockorder is respected"
+
+// New returns the lockcheck analyzer.
+func New() *analysis.Analyzer {
+	return &analysis.Analyzer{
+		Name:      "lockcheck",
+		Doc:       Doc,
+		RunModule: run,
+	}
+}
+
+func run(mp *analysis.ModulePass) error {
+	ann := mp.Annotations
+	if len(ann.Guards) == 0 && len(ann.LockOrders) == 0 {
+		return nil
+	}
+	for _, u := range mp.Units {
+		for _, f := range u.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				exempt := map[string]bool{}
+				if fn, ok := u.Info.Defs[fd.Name].(*types.Func); ok {
+					for _, g := range ann.CallerHolds[fn.FullName()] {
+						exempt[g] = true
+					}
+				}
+				checkScope(mp, u, fd.Body, exempt)
+			}
+		}
+	}
+	return nil
+}
+
+// lockOp is one mutex Lock/Unlock call in source order.
+type lockOp struct {
+	base     string // rendered receiver expression ("s", "e.shards[i]", "" for a bare var)
+	mutex    string // field or variable name of the mutex
+	key      string // field key for //fs:lockorder tracking, "" for non-fields
+	method   string // Lock, RLock, Unlock, ...
+	pos      token.Pos
+	deferred bool
+}
+
+func (op *lockOp) acquires() bool {
+	switch op.method {
+	case "Lock", "RLock", "TryLock", "TryRLock":
+		return true
+	}
+	return false
+}
+
+func (op *lockOp) exclusive() bool {
+	return op.method == "Lock" || op.method == "TryLock"
+}
+
+func (op *lockOp) releases() bool {
+	return op.method == "Unlock" || op.method == "RUnlock"
+}
+
+// checkScope analyzes one function body or function literal. Nested
+// literals are recursed into as fresh scopes with no inherited locks.
+func checkScope(mp *analysis.ModulePass, u *analysis.Unit, body *ast.BlockStmt, exempt map[string]bool) {
+	var ops []lockOp
+	var nested []*ast.FuncLit
+
+	parents := map[ast.Node]ast.Node{}
+	var stack []ast.Node
+
+	// Single pass: record parents, lock events and nested literals.
+	ast.Inspect(body, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		if len(stack) > 0 {
+			parents[n] = stack[len(stack)-1]
+		}
+		stack = append(stack, n)
+		if lit, ok := n.(*ast.FuncLit); ok {
+			nested = append(nested, lit)
+			return false
+		}
+		if call, ok := n.(*ast.CallExpr); ok {
+			if op, ok := lockCall(u, call); ok {
+				if _, isDefer := parents[call].(*ast.DeferStmt); isDefer {
+					op.deferred = true
+				}
+				ops = append(ops, op)
+			}
+		}
+		return true
+	})
+
+	// Guarded-field accesses.
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		selection, ok := u.Info.Selections[sel]
+		if !ok || selection.Kind() != types.FieldVal {
+			return true
+		}
+		field, _ := selection.Obj().(*types.Var)
+		if field == nil {
+			return true
+		}
+		key, ok := analysis.FieldKeyOf(selection.Recv(), field)
+		if !ok {
+			return true
+		}
+		guard, guarded := mp.Annotations.Guards[key]
+		if !guarded {
+			return true
+		}
+		if exempt[guard.Mutex] {
+			return true
+		}
+		base := exprString(sel.X)
+		write := isWrite(parents, sel)
+		held, rlockOnly := heldAt(ops, base, guard.Mutex, sel.Pos())
+		short := analysis.ShortName(key)
+		mutexExpr := guard.Mutex
+		if base != "" {
+			mutexExpr = base + "." + guard.Mutex
+		}
+		switch {
+		case !held:
+			s := "read"
+			if write {
+				s = "written"
+			}
+			mp.Reportf(sel.Pos(), "field %s is %s without %s held (//fs:guardedby)", short, s, mutexExpr)
+		case write && rlockOnly && guard.RW:
+			mp.Reportf(sel.Pos(), "field %s is written while %s holds only an RLock; writes need Lock (//fs:guardedby)", short, mutexExpr)
+		}
+		return true
+	})
+
+	checkLockOrder(mp, ops)
+
+	for _, lit := range nested {
+		checkScope(mp, u, lit.Body, map[string]bool{})
+	}
+}
+
+// heldAt reports whether a Lock of base.mutex appears before pos, and
+// whether only read locks do.
+func heldAt(ops []lockOp, base, mutex string, pos token.Pos) (held, rlockOnly bool) {
+	rlockOnly = true
+	for i := range ops {
+		op := &ops[i]
+		if op.deferred || !op.acquires() || op.pos >= pos {
+			continue
+		}
+		if op.base == base && op.mutex == mutex {
+			held = true
+			if op.exclusive() {
+				rlockOnly = false
+			}
+		}
+	}
+	return held, rlockOnly
+}
+
+// checkLockOrder scans acquisitions in source order against the declared
+// //fs:lockorder rules.
+func checkLockOrder(mp *analysis.ModulePass, ops []lockOp) {
+	if len(mp.Annotations.LockOrders) == 0 {
+		return
+	}
+	held := map[string]bool{}
+	for i := range ops {
+		op := &ops[i]
+		if op.deferred || op.key == "" {
+			continue
+		}
+		switch {
+		case op.acquires():
+			for _, rule := range mp.Annotations.LockOrders {
+				if op.key == rule.Before && held[rule.After] {
+					mp.Reportf(op.pos, "%s is acquired while %s is held; //fs:lockorder requires the opposite order",
+						analysis.ShortName(rule.Before), analysis.ShortName(rule.After))
+				}
+			}
+			held[op.key] = true
+		case op.releases():
+			delete(held, op.key)
+		}
+	}
+}
+
+// lockCall decodes a call of the form <expr>.<mutex>.Lock() (or any
+// other sync.Mutex/RWMutex method).
+func lockCall(u *analysis.Unit, call *ast.CallExpr) (lockOp, bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return lockOp{}, false
+	}
+	switch sel.Sel.Name {
+	case "Lock", "RLock", "TryLock", "TryRLock", "Unlock", "RUnlock":
+	default:
+		return lockOp{}, false
+	}
+	recv := ast.Unparen(sel.X)
+	tv, ok := u.Info.Types[recv]
+	if !ok {
+		return lockOp{}, false
+	}
+	if _, isMutex := analysis.IsMutex(tv.Type); !isMutex {
+		return lockOp{}, false
+	}
+	op := lockOp{method: sel.Sel.Name, pos: call.Pos()}
+	switch m := recv.(type) {
+	case *ast.SelectorExpr:
+		op.base = exprString(m.X)
+		op.mutex = m.Sel.Name
+		if selection, ok := u.Info.Selections[m]; ok && selection.Kind() == types.FieldVal {
+			if field, ok := selection.Obj().(*types.Var); ok {
+				if key, ok := analysis.FieldKeyOf(selection.Recv(), field); ok {
+					op.key = key
+				}
+			}
+		}
+	case *ast.Ident:
+		op.mutex = m.Name
+	default:
+		return lockOp{}, false
+	}
+	return op, true
+}
+
+// isWrite reports whether sel (or a chain of index/deref/slice
+// expressions rooted at it) is an assignment target, incremented, or has
+// its address taken.
+func isWrite(parents map[ast.Node]ast.Node, sel ast.Expr) bool {
+	cur := ast.Node(sel)
+	for {
+		parent := parents[cur]
+		switch p := parent.(type) {
+		case *ast.IndexExpr:
+			if p.X == cur {
+				cur = parent
+				continue
+			}
+		case *ast.StarExpr, *ast.ParenExpr:
+			cur = parent
+			continue
+		case *ast.SliceExpr:
+			if p.X == cur {
+				cur = parent
+				continue
+			}
+		case *ast.SelectorExpr:
+			// Selecting a deeper field: the write status belongs to
+			// the outer selection.
+			if p.X == cur {
+				cur = parent
+				continue
+			}
+		case *ast.IncDecStmt:
+			return true
+		case *ast.UnaryExpr:
+			return p.Op == token.AND
+		case *ast.AssignStmt:
+			for _, lhs := range p.Lhs {
+				if lhs == cur {
+					return true
+				}
+			}
+			return false
+		}
+		return false
+	}
+}
+
+// exprString renders the lock base expression for structural matching:
+// two accesses guard-match only if their rendered bases are identical.
+func exprString(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return exprString(e.X) + "." + e.Sel.Name
+	case *ast.IndexExpr:
+		return exprString(e.X) + "[" + exprString(e.Index) + "]"
+	case *ast.StarExpr:
+		return "*" + exprString(e.X)
+	case *ast.ParenExpr:
+		return exprString(e.X)
+	case *ast.BasicLit:
+		return e.Value
+	case *ast.CallExpr:
+		return exprString(e.Fun) + "(...)"
+	default:
+		return fmt.Sprintf("<%T>", e)
+	}
+}

@@ -1,0 +1,12 @@
+package lockcheck_test
+
+import (
+	"testing"
+
+	"fscache/internal/lint/analysis/analysistest"
+	"fscache/internal/lint/lockcheck"
+)
+
+func TestLockDiscipline(t *testing.T) {
+	analysistest.Run(t, "testdata", lockcheck.New(), "lock")
+}

@@ -1,0 +1,70 @@
+// Package staleignore implements the fslint analyzer that keeps the
+// suppression ledger honest: an //fslint:ignore comment that no longer
+// absorbs any finding is itself a finding.
+//
+// Suppressions are cheap to add and silently rot: the code they excused
+// gets fixed or deleted, the comment stays, and the next reader assumes
+// the contract is still being waived on purpose. staleignore runs after
+// every other analyzer has reported (AfterSuppression), inspects the
+// runner's usage record, and flags each named analyzer that suppressed
+// nothing.
+//
+// A comment is only judged when every analyzer it names actually ran in
+// this invocation: `fslint -analyzers=lockcheck` must not condemn an
+// allocfree suppression merely because allocfree was deselected. Names
+// unknown to the registry are rejected separately by the runner itself.
+package staleignore
+
+import (
+	"strings"
+
+	"fscache/internal/lint/analysis"
+)
+
+// Doc is the analyzer description.
+const Doc = "report //fslint:ignore comments that no longer suppress any finding"
+
+// New returns the staleignore analyzer.
+func New() *analysis.Analyzer {
+	return &analysis.Analyzer{
+		Name:             "staleignore",
+		Doc:              Doc,
+		AfterSuppression: true,
+		RunModule:        run,
+	}
+}
+
+func run(mp *analysis.ModulePass) error {
+	active := make(map[string]bool, len(mp.Active))
+	for _, name := range mp.Active {
+		active[name] = true
+	}
+	for _, s := range mp.Suppressions {
+		judgeable := true
+		for _, name := range s.Names {
+			if !active[name] {
+				judgeable = false
+				break
+			}
+		}
+		if !judgeable {
+			continue
+		}
+		var unused []string
+		for _, name := range s.Names {
+			if !s.Used[name] {
+				unused = append(unused, name)
+			}
+		}
+		switch {
+		case len(unused) == 0:
+		case len(unused) == len(s.Names):
+			mp.Reportf(s.Pos, "//fslint:ignore %s suppresses nothing; remove it",
+				strings.Join(s.Names, ","))
+		default:
+			mp.Reportf(s.Pos, "//fslint:ignore name %s suppresses nothing; drop it from the list",
+				strings.Join(unused, ","))
+		}
+	}
+	return nil
+}

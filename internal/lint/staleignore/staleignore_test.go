@@ -1,0 +1,22 @@
+package staleignore_test
+
+import (
+	"testing"
+
+	"fscache/internal/lint/allocfree"
+	"fscache/internal/lint/analysis"
+	"fscache/internal/lint/analysis/analysistest"
+	"fscache/internal/lint/lockcheck"
+	"fscache/internal/lint/staleignore"
+)
+
+// TestStaleIgnore runs the full trio so suppressions naming allocfree and
+// lockcheck are judgeable: staleignore only condemns a comment when every
+// analyzer it names actually ran.
+func TestStaleIgnore(t *testing.T) {
+	analysistest.RunAll(t, "testdata", []*analysis.Analyzer{
+		allocfree.New(allocfree.Options{}),
+		lockcheck.New(),
+		staleignore.New(),
+	}, "stale")
+}

@@ -1,0 +1,25 @@
+// Package stale exercises the suppression life cycle: live, partially
+// stale, fully stale, and typo'd //fslint:ignore comments.
+package stale
+
+//fs:allocfree
+func Hot(n int) []int {
+	//fslint:ignore allocfree deliberate slow path, measured cold
+	return make([]int, n) // ok: absorbed by the live suppression above
+}
+
+//fs:allocfree
+func Partial(n int) []int {
+	//fslint:ignore allocfree,lockcheck covers both contracts // want `//fslint:ignore name lockcheck suppresses nothing; drop it from the list`
+	return make([]int, n)
+}
+
+func Cold(n int) int {
+	//fslint:ignore allocfree nothing allocates on an annotated path here // want `//fslint:ignore allocfree suppresses nothing; remove it`
+	return n * 2
+}
+
+func Typo(n int) int {
+	//fslint:ignore allocfreee misspelled, rejected by the runner itself // want `//fslint:ignore names unknown analyzer "allocfreee"`
+	return n
+}

@@ -75,6 +75,7 @@ func (t *Tree) newNode(key Key, value int64) *node {
 		t.free = t.free[:len(t.free)-1]
 		*n = node{}
 	} else {
+		//fslint:ignore allocfree freelist miss during fill; steady-state inserts recycle Delete'd nodes
 		n = &node{}
 	}
 	n.key = key
@@ -93,6 +94,8 @@ func (t *Tree) newNode(key Key, value int64) *node {
 // so this produces exactly the structure the previous split/merge recursion
 // did — with one descent instead of a duplicate-check pass plus a
 // split/merge pass, and no recursive call overhead.
+//
+//fs:allocfree
 func (t *Tree) Insert(key Key, value int64) {
 	path := t.path[:0]
 	n := t.root
@@ -175,6 +178,8 @@ func (t *Tree) Contains(key Key) bool { return t.contains(key) }
 // and recycle it. Rotating toward the higher-priority child rebuilds the
 // canonical treap of the remaining keys, exactly as merging the two subtrees
 // did.
+//
+//fs:allocfree
 func (t *Tree) Delete(key Key) bool {
 	path := t.path[:0]
 	n := t.root
@@ -241,6 +246,8 @@ func (t *Tree) Delete(key Key) bool {
 // Rank returns the 1-based ascending rank of key (1 = smallest) and whether
 // the key is present. If absent, rank is the rank the key would have after
 // insertion.
+//
+//fs:allocfree
 func (t *Tree) Rank(key Key) (rank int, ok bool) {
 	rank = 1
 	n := t.root
@@ -259,6 +266,8 @@ func (t *Tree) Rank(key Key) (rank int, ok bool) {
 
 // Select returns the key and value at 1-based ascending rank r.
 // It panics if r is out of range.
+//
+//fs:allocfree
 func (t *Tree) Select(r int) (Key, int64) {
 	if r < 1 || r > t.Len() {
 		panic("ost: Select rank out of range")
@@ -279,6 +288,8 @@ func (t *Tree) Select(r int) (Key, int64) {
 }
 
 // Min returns the smallest key and its value. It panics if the tree is empty.
+//
+//fs:allocfree
 func (t *Tree) Min() (Key, int64) {
 	n := t.root
 	if n == nil {
@@ -291,6 +302,8 @@ func (t *Tree) Min() (Key, int64) {
 }
 
 // Max returns the largest key and its value. It panics if the tree is empty.
+//
+//fs:allocfree
 func (t *Tree) Max() (Key, int64) {
 	n := t.root
 	if n == nil {

@@ -67,14 +67,20 @@ type Config struct {
 // shard is one independently locked domain: a single-threaded core.Cache
 // plus the demand counters the global distributor reads.
 type shard struct {
-	mu    sync.Mutex
+	mu sync.Mutex
+	//fs:guardedby mu
 	cache *core.Cache
 	// demand counts accesses routed to this shard per partition since the
 	// last Rebalance; it is the distributor's load signal.
+	//fs:guardedby mu
 	demand []uint64
 }
 
-// Engine is the concurrent sharded cache.
+// Engine is the concurrent sharded cache. The tmu-then-shard-mu
+// acquisition order below is the engine's only nested locking; fslint's
+// lockcheck analyzer enforces both the guard discipline and the order.
+//
+//fs:lockorder Engine.tmu shard.mu
 type Engine struct {
 	cfg    Config
 	sets   int // global set count = Lines/Ways
@@ -84,7 +90,8 @@ type Engine struct {
 	// tmu serializes target distribution (SetTargets and Rebalance) so two
 	// concurrent rebalances cannot interleave their per-shard SetTargets
 	// writes; targets holds the cache-wide per-partition goals.
-	tmu     sync.Mutex
+	tmu sync.Mutex
+	//fs:guardedby tmu
 	targets []int
 }
 

@@ -2,6 +2,7 @@ package shardcache
 
 import (
 	"math"
+	"sync"
 	"testing"
 
 	"fscache/internal/cachearray"
@@ -180,6 +181,69 @@ func TestRebalanceRedistributes(t *testing.T) {
 			t.Errorf("shard 0 (all of partition 0's demand) got target %d, shard %d got %d",
 				hot, i, cold)
 		}
+	}
+}
+
+// TestLockDisciplineSmoke is the runtime counterpart of the fslint lockcheck
+// annotations on Engine and shard (//fs:guardedby, //fs:lockorder): a seeded
+// free-running mix of access workers, snapshot readers and rebalances hammers
+// every guarded field concurrently, so a missing Lock that slipped past the
+// static analyzer surfaces as a detector report when this runs under -race
+// (CI's race job runs it explicitly alongside a lockcheck-only fslint pass).
+func TestLockDisciplineSmoke(t *testing.T) {
+	cfg := testConfig(4)
+	e := New(cfg)
+	e.SetTargets(testTargets())
+
+	const workers = 4
+	perWorker := 4096
+	if testing.Short() {
+		perWorker = 1024
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		//fslint:ignore determinism lock-discipline smoke: free-running workers share shards on purpose; only race-freedom and accounting are asserted
+		go func(w int) {
+			defer wg.Done()
+			rng := xrand.New(testSeed ^ uint64(w)<<8)
+			for i := 0; i < perWorker; i++ {
+				addr := rng.Uint64() % (1 << 18)
+				part := int(rng.Uint64() % uint64(cfg.Parts))
+				e.Access(addr, part)
+				// Periodic rebalances from every worker exercise the
+				// tmu-then-mu nested acquisition (//fs:lockorder) while
+				// other workers hold individual shard locks.
+				if i%512 == 511 {
+					e.Rebalance()
+				}
+			}
+		}(w)
+	}
+	done := make(chan struct{})
+	var readers sync.WaitGroup
+	readers.Add(1)
+	//fslint:ignore determinism lock-discipline smoke: snapshot readers race against writers by design
+	go func() {
+		defer readers.Done()
+		for {
+			select {
+			case <-done:
+				return
+			default:
+				_ = e.Snapshot()
+				_ = e.ShardSnapshots()
+			}
+		}
+	}()
+	wg.Wait()
+	close(done)
+	readers.Wait()
+	if err := e.CheckInvariants(); err != nil {
+		t.Fatalf("invariants after concurrent smoke: %v", err)
+	}
+	if got := e.Snapshot().Accesses; got != uint64(workers*perWorker) {
+		t.Fatalf("accesses = %d, want %d (lost updates?)", got, workers*perWorker)
 	}
 }
 
