@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test race lint check fmt fuzz smoke bench benchjson cover soak load
+.PHONY: build test race lint check fmt fuzz smoke bench benchjson cover soak load serve netsoak
 
 build:
 	$(GO) build ./...
@@ -28,10 +28,13 @@ fmt:
 	gofmt -w .
 
 # Short fuzz sessions (seed corpus + 10s of mutation each): the trace
-# decoder, then the differential oracle over scenario programs.
+# decoder, the differential oracle over scenario programs, and the serving
+# layer's wire codec at both the payload and framed-stream level.
 fuzz:
 	$(GO) test -run='^$$' -fuzz=FuzzReadFrom -fuzztime=10s ./internal/trace
 	$(GO) test -run='^$$' -fuzz=FuzzAccess -fuzztime=10s ./internal/core
+	$(GO) test -run='^$$' -fuzz='^FuzzFrame$$' -fuzztime=10s ./internal/server
+	$(GO) test -run='^$$' -fuzz=FuzzFrameStream -fuzztime=10s ./internal/server
 
 # End-to-end smoke: the full quick-scale sweep must exit 0.
 smoke:
@@ -65,5 +68,28 @@ soak:
 # (DESIGN.md §12). CI runs the same configuration in its race job.
 load:
 	$(GO) run -race ./cmd/fsload -shards 2 -workers 4 -duration 2s
+
+# Run the multi-tenant cache server in the foreground with two tenants
+# (one guaranteed, one best-effort) and a 2:1 capacity split. Ctrl-C drains.
+serve:
+	$(GO) run ./cmd/fsserve -tenants g:0,b:0 -targets 2731,1365 -rebalance 250ms
+
+# End-to-end serving-layer soak under the race detector: a race-built
+# fsserve with listener-side fault injection, a faulty closed-loop fsload
+# fleet with error-rate and occupancy gates (DESIGN.md §14), then a SIGTERM
+# drain that must come back clean (fsserve exits 1 on a forced drain). CI's
+# server job runs the same shape with a shorter duration.
+netsoak:
+	@set -e; \
+	tmp=$$(mktemp -d); trap 'rm -rf "$$tmp"' EXIT; \
+	$(GO) build -race -o "$$tmp/fsserve" ./cmd/fsserve; \
+	$(GO) build -race -o "$$tmp/fsload" ./cmd/fsload; \
+	"$$tmp/fsserve" -addr 127.0.0.1:0 -addrfile "$$tmp/addr" -lines 512 \
+		-tenants g:0,b:0 -targets 342,170 -faults & pid=$$!; \
+	for i in $$(seq 1 50); do [ -s "$$tmp/addr" ] && break; sleep 0.1; done; \
+	[ -s "$$tmp/addr" ] || { echo "fsserve never wrote its address" >&2; kill $$pid; exit 1; }; \
+	"$$tmp/fsload" -net "$$(cat "$$tmp/addr")" -workers 4 -keys 4096 -duration 3s \
+		-deadline 50ms -hedge 20ms -faults -maxerr 0.05 -maxocc 0.25; \
+	kill -TERM $$pid; wait $$pid
 
 check: build lint test race

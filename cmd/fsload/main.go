@@ -17,6 +17,16 @@
 //	fsload                                  # 4 shards, 4 workers, 5s
 //	fsload -shards 1 -workers 4             # contention baseline
 //	fsload -shards 2 -workers 4 -duration 2s -seed 7
+//
+// With -net, fsload instead drives a running fsserve instance over TCP as
+// a closed-loop client fleet with retry/backoff, optional hedging and
+// optional network fault injection (see net.go):
+//
+//	fsload -net 127.0.0.1:7070 -workers 8 -duration 5s
+//	fsload -net 127.0.0.1:7070 -faults -deadline 50ms -maxerr 0.05 -maxocc 0.25
+//
+// In either mode, -maxocc (and -maxerr in net mode) turn the report into a
+// gate: fsload exits non-zero when the thresholds are not met.
 package main
 
 import (
@@ -61,10 +71,47 @@ func main() {
 		ways      = flag.Int("ways", 16, "associativity (power of two)")
 		parts     = flag.Int("parts", 3, "partition count")
 		rebalance = flag.Duration("rebalance", 250*time.Millisecond, "interval between target redistributions")
+		maxOcc    = flag.Float64("maxocc", -1, "fail (exit 1) when the worst occupancy error exceeds this fraction; <0 disables")
+
+		netAddr   = flag.String("net", "", "network mode: drive the fsserve instance at this host:port instead of an in-process engine")
+		setFrac   = flag.Float64("setfrac", 0.3, "net: fraction of requests that are SETs")
+		keySpace  = flag.Int("keys", 65536, "net: per-tenant key-space size")
+		deadline  = flag.Duration("deadline", 0, "net: wire deadline attached to each request (0 = none)")
+		timeout   = flag.Duration("timeout", 2*time.Second, "net: client-side response wait")
+		retries   = flag.Int("retries", 4, "net: retry budget per request")
+		retryBase = flag.Duration("retrybase", 5*time.Millisecond, "net: first retry backoff (doubles per attempt, jittered)")
+		retryMax  = flag.Duration("retrymax", 500*time.Millisecond, "net: retry backoff cap")
+		hedge     = flag.Duration("hedge", 0, "net: reissue a GET on a fresh connection after this wait (0 disables)")
+		faults    = flag.Bool("faults", false, "net: inject seeded network faults on client connections")
+		faultSeed = flag.Uint64("faultseed", 2026, "net: fault injector seed")
+		maxErr    = flag.Float64("maxerr", -1, "net: fail (exit 1) when the transport error rate exceeds this fraction; <0 disables")
 	)
 	flag.Parse()
 	if *workers < 1 || *duration <= 0 || *parts < 1 {
 		fail("need -workers >= 1, -duration > 0, -parts >= 1")
+	}
+	if *netAddr != "" {
+		if *setFrac < 0 || *setFrac >= 1 || *keySpace < 1 {
+			fail("need 0 <= -setfrac < 1 and -keys >= 1")
+		}
+		os.Exit(runNet(netOpts{
+			addr:      *netAddr,
+			workers:   *workers,
+			duration:  *duration,
+			seed:      *seed,
+			setFrac:   *setFrac,
+			keySpace:  *keySpace,
+			deadline:  *deadline,
+			timeout:   *timeout,
+			retries:   *retries,
+			retryBase: *retryBase,
+			retryMax:  *retryMax,
+			hedge:     *hedge,
+			faults:    *faults,
+			faultSeed: *faultSeed,
+			maxOcc:    *maxOcc,
+			maxErr:    *maxErr,
+		}))
 	}
 
 	e := shardcache.New(shardcache.Config{
@@ -164,6 +211,9 @@ func main() {
 	fmt.Printf("\n  worst occupancy error: %.1f%%\n", 100*worst)
 	if snap.Accesses != total {
 		fail(fmt.Sprintf("accounting: engine recorded %d accesses, workers performed %d", snap.Accesses, total))
+	}
+	if *maxOcc >= 0 && worst > *maxOcc {
+		fail(fmt.Sprintf("worst occupancy error %.1f%% exceeds -maxocc %.1f%%", 100*worst, 100**maxOcc))
 	}
 }
 

@@ -1,0 +1,191 @@
+// Command fsserve runs the overload-resilient multi-tenant cache service
+// (internal/server): a length-prefixed TCP key-value front end where each
+// tenant maps to one futility-scaling partition of a sharded engine.
+//
+// Tenants are declared with -tenants as comma-separated class[:rate[:burst]]
+// specs, where class is "g" (guaranteed) or "b" (best-effort), rate is the
+// token-bucket refill in requests/second (0 = unlimited) and burst is the
+// bucket depth. The engine's line capacity is split evenly across tenants
+// unless -targets overrides it.
+//
+// On SIGINT/SIGTERM the server drains: it stops accepting, lets in-flight
+// requests finish and their responses flush, and force-closes stragglers
+// only after -draintimeout. Exit status is 0 on a clean drain, 1 otherwise.
+//
+// -faults wraps the listener with a seeded network fault injector
+// (connection resets, torn frames, corrupted length prefixes) so soak
+// harnesses can prove the serving stack survives wire damage on its own
+// responses; see internal/faultinject.
+//
+// Examples:
+//
+//	fsserve -addr 127.0.0.1:7070
+//	fsserve -tenants g:5000,b:2000,b:0 -lines 16384 -rebalance 250ms
+//	fsserve -addr 127.0.0.1:0 -addrfile /tmp/fsserve.addr   # CI smoke
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"fscache/internal/faultinject"
+	"fscache/internal/futility"
+	"fscache/internal/server"
+	"fscache/internal/shardcache"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", "127.0.0.1:7070", "TCP listen address (port 0 picks a free port)")
+		addrfile  = flag.String("addrfile", "", "write the bound address to this file once listening (for scripts)")
+		tenants   = flag.String("tenants", "g,b", "tenant specs: class[:rate[:burst]], class g|b, comma-separated")
+		targets   = flag.String("targets", "", "per-tenant line targets, comma-separated (default: even split)")
+		lines     = flag.Int("lines", 4096, "total cache lines (power of two)")
+		ways      = flag.Int("ways", 16, "associativity (power of two)")
+		shards    = flag.Int("shards", 4, "engine shard count (power of two)")
+		seed      = flag.Uint64("seed", 1, "engine seed (hash functions, replacement sampling)")
+		rebalance = flag.Duration("rebalance", 250*time.Millisecond, "target-redistribution cadence (0 disables)")
+		soft      = flag.Int("soft", 256, "soft in-flight watermark (shed/degrade threshold)")
+		hard      = flag.Int("hard", 0, "hard in-flight watermark (reject threshold; default 4x soft)")
+		drainT    = flag.Duration("draintimeout", 10*time.Second, "drain grace before force-closing connections")
+		faults    = flag.Bool("faults", false, "wrap the listener with the seeded network fault injector")
+		faultseed = flag.Uint64("faultseed", 2026, "fault injector seed")
+		quiet     = flag.Bool("quiet", false, "suppress operational logging")
+	)
+	flag.Parse()
+
+	tcs, err := parseTenants(*tenants)
+	if err != nil {
+		fail(err.Error())
+	}
+	var tgt []int
+	if *targets != "" {
+		if tgt, err = parseInts(*targets); err != nil {
+			fail(err.Error())
+		}
+	}
+	cfg := server.Config{
+		Addr:         *addr,
+		Tenants:      tcs,
+		Targets:      tgt,
+		SoftInflight: *soft,
+		HardInflight: *hard,
+		Rebalance:    *rebalance,
+		Cache: shardcache.Config{
+			Lines:   *lines,
+			Ways:    *ways,
+			Shards:  *shards,
+			Parts:   len(tcs),
+			Ranking: futility.CoarseLRU,
+			Seed:    *seed,
+		},
+	}
+	if !*quiet {
+		cfg.Logf = func(format string, args ...interface{}) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		}
+	}
+	srv, err := server.New(cfg)
+	if err != nil {
+		fail(err.Error())
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fail(fmt.Sprintf("listen %s: %v", *addr, err))
+	}
+	if *faults {
+		ni := faultinject.NewNetInjector(*faultseed, faultinject.NetFaults{
+			Reset:      0.002,
+			TornWrite:  0.002,
+			CorruptLen: 0.002,
+		})
+		ln = ni.WrapListener(ln)
+		fmt.Fprintf(os.Stderr, "fsserve: network fault injection armed (seed %d)\n", *faultseed)
+	}
+	if *addrfile != "" {
+		if err := os.WriteFile(*addrfile, []byte(ln.Addr().String()+"\n"), 0o644); err != nil {
+			fail(fmt.Sprintf("write addrfile: %v", err))
+		}
+	}
+	srv.Serve(ln)
+
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
+	sig := <-sigs
+	fmt.Fprintf(os.Stderr, "fsserve: %v, draining\n", sig)
+	drainErr := srv.Shutdown(*drainT)
+
+	snap := srv.Stats()
+	fmt.Fprintf(os.Stderr,
+		"fsserve: served %d conn(s), %d store entries (%d bytes), %d bad frames, %d slow clients, %d panics\n",
+		snap.Accepted, snap.StoreEntries, snap.StoreBytes, snap.BadFrames, snap.SlowClients, snap.Panics)
+	for i, t := range snap.Tenants {
+		fmt.Fprintf(os.Stderr,
+			"fsserve: tenant %d (%s): admitted %d, shed %d, stale %d, rejected %d, deadlined %d\n",
+			i, t.Class, t.Admitted, t.Shed, t.StaleServes, t.Rejected, t.Deadlined)
+	}
+	if drainErr != nil {
+		fail(drainErr.Error())
+	}
+}
+
+// parseTenants parses "g:5000,b:2000:300,b" into tenant configs.
+func parseTenants(spec string) ([]server.TenantConfig, error) {
+	var out []server.TenantConfig
+	for _, field := range strings.Split(spec, ",") {
+		parts := strings.Split(strings.TrimSpace(field), ":")
+		if len(parts) > 3 || parts[0] == "" {
+			return nil, fmt.Errorf("bad tenant spec %q (want class[:rate[:burst]])", field)
+		}
+		var tc server.TenantConfig
+		switch parts[0] {
+		case "g":
+			tc.Class = server.Guaranteed
+		case "b":
+			tc.Class = server.BestEffort
+		default:
+			return nil, fmt.Errorf("bad tenant class %q (want g or b)", parts[0])
+		}
+		if len(parts) > 1 {
+			rate, err := strconv.ParseFloat(parts[1], 64)
+			if err != nil || rate < 0 {
+				return nil, fmt.Errorf("bad tenant rate %q", parts[1])
+			}
+			tc.Rate = rate
+		}
+		if len(parts) > 2 {
+			burst, err := strconv.ParseFloat(parts[2], 64)
+			if err != nil || burst < 0 {
+				return nil, fmt.Errorf("bad tenant burst %q", parts[2])
+			}
+			tc.Burst = burst
+		}
+		out = append(out, tc)
+	}
+	return out, nil
+}
+
+func parseInts(spec string) ([]int, error) {
+	var out []int
+	for _, f := range strings.Split(spec, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil {
+			return nil, fmt.Errorf("bad target %q", f)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
+func fail(msg string) {
+	fmt.Fprintln(os.Stderr, "fsserve:", msg)
+	os.Exit(1)
+}

@@ -275,6 +275,11 @@ type AccessResult struct {
 	// EvictedPart is the owner partition of the evicted line (valid when
 	// Evicted).
 	EvictedPart int
+	// EvictedAddr is the address the victim line held (valid when Evicted).
+	// Serving layers that keep real bytes behind the simulated replacement
+	// decisions (internal/server) use it to drop the victim's value, so the
+	// byte store tracks residency exactly.
+	EvictedAddr uint64
 	// EvictedFutility is the reference futility of the evicted line (valid
 	// when Evicted).
 	EvictedFutility float64
@@ -336,7 +341,7 @@ func (c *Cache) Access(addr uint64, part int, nextUse int64) AccessResult {
 	}
 
 	// Evict the victim if it holds a valid line.
-	if _, valid := c.array.AddrOf(victim); valid {
+	if vaddr, valid := c.array.AddrOf(victim); valid {
 		dp := c.linePart[victim]
 		owner := c.lineOwner[victim]
 		// With a dedicated reference ranker, futility is measured within the
@@ -361,6 +366,7 @@ func (c *Cache) Access(addr uint64, part int, nextUse int64) AccessResult {
 		res.Evicted = true
 		res.EvictedLine = victim
 		res.EvictedPart = owner
+		res.EvictedAddr = vaddr
 		res.EvictedFutility = ef
 		c.linePart[victim] = -1
 		c.lineOwner[victim] = -1

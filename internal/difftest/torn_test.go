@@ -1,0 +1,68 @@
+package difftest
+
+// Torn-write robustness for the scenario codec: FromBytes must be total
+// over every prefix of every real encoding (the shrinker and the on-disk
+// corpus both cut encodings at arbitrary points), and whatever it decodes
+// must be canonical — re-encoding a decoded prefix must be a fixpoint, or
+// corpus entries would drift every time they are rewritten.
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestFromBytesEveryPrefix decodes every prefix of many generated
+// scenarios' encodings. Each prefix must either decode to nil (too short)
+// or to a normalized scenario whose own encoding round-trips exactly.
+func TestFromBytesEveryPrefix(t *testing.T) {
+	for seed := uint64(0); seed < 48; seed++ {
+		full := ToBytes(Generate(seed))
+		for cut := 0; cut <= len(full); cut++ {
+			s := FromBytes(full[:cut])
+			if s == nil {
+				if cut == len(full) {
+					t.Fatalf("seed %d: complete encoding decoded to nil", seed)
+				}
+				continue
+			}
+			if len(s.Ops) == 0 {
+				t.Fatalf("seed %d cut %d: decoded scenario with no ops", seed, cut)
+			}
+			enc := ToBytes(s)
+			s2 := FromBytes(enc)
+			if s2 == nil {
+				t.Fatalf("seed %d cut %d: re-encoding failed to decode", seed, cut)
+			}
+			if !bytes.Equal(ToBytes(s2), enc) {
+				t.Fatalf("seed %d cut %d: encoding is not a fixpoint:\n%x\nvs\n%x",
+					seed, cut, ToBytes(s2), enc)
+			}
+			if g, w := s2.String(), s.String(); g != w {
+				t.Fatalf("seed %d cut %d: round trip changed scenario: %s != %s", seed, cut, g, w)
+			}
+		}
+	}
+}
+
+// TestFromBytesPrefixRunnable spot-checks that truncated decodes are not
+// just structurally valid but runnable: the differential runner must accept
+// them without diverging, since the fuzzer feeds it exactly such inputs.
+func TestFromBytesPrefixRunnable(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs scenarios; skipped in -short")
+	}
+	for seed := uint64(0); seed < 8; seed++ {
+		full := ToBytes(Generate(seed))
+		// Stride through cuts so the sweep stays cheap but still lands on
+		// mid-op offsets (13 is coprime with the 3-byte access op stride).
+		for cut := headerLen + 1; cut <= len(full); cut += 13 {
+			s := FromBytes(full[:cut])
+			if s == nil {
+				continue
+			}
+			if d := RunScenario(s, Options{}); d != nil {
+				t.Fatalf("seed %d cut %d: decoded prefix diverges: %v", seed, cut, d)
+			}
+		}
+	}
+}

@@ -242,6 +242,7 @@ func RunAll(tasks []Task, opts Options) Summary {
 
 func runWithRetry(task Task, opts Options, sleep func(time.Duration)) Result {
 	res := Result{ID: task.ID}
+	backoff := NewBackoff(opts.Backoff, 0, 0, 0)
 	start := time.Now()
 	for attempt := 1; ; attempt++ {
 		res.Attempts = attempt
@@ -265,8 +266,8 @@ func runWithRetry(task Task, opts Options, sleep func(time.Duration)) Result {
 			res.Elapsed = time.Since(start)
 			return res
 		}
-		if opts.Backoff > 0 {
-			sleep(opts.Backoff << uint(attempt-1))
+		if d := backoff.Delay(attempt); d > 0 {
+			sleep(d)
 		}
 	}
 }

@@ -24,6 +24,7 @@ import (
 	"fscache/internal/core"
 	"fscache/internal/futility"
 	"fscache/internal/ost"
+	"fscache/internal/server"
 	"fscache/internal/trace"
 	"fscache/internal/xrand"
 )
@@ -78,6 +79,12 @@ func Registry() []Benchmark {
 			PerAccess: true, Fn: ShardedThroughput1},
 		{Name: "shardcache/throughput-4shard-4workers", Doc: "concurrent Engine.Access, 4 workers across 4 shards",
 			PerAccess: true, Fn: ShardedThroughput4},
+		{Name: "server/frame-codec", Doc: "wire frame encode + read + parse round trip",
+			ZeroAlloc: true, Fn: server.BenchFrameCodec},
+		{Name: "server/admission-decide", Doc: "degradation-ladder walk, calm regime (per-request admission overhead)",
+			ZeroAlloc: true, Fn: server.BenchAdmissionDecide},
+		{Name: "server/loopback-rpc", Doc: "synchronous GET round trip over TCP loopback against a live server",
+			Fn: server.BenchLoopbackRPC},
 	}
 }
 

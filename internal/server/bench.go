@@ -1,0 +1,125 @@
+package server
+
+// Benchmark bodies for the perfbench registry (see internal/perfbench).
+// They live here rather than in perfbench because they exercise unexported
+// serving-layer internals (the admission ladder) alongside the exported
+// codec; perfbench registers them by name.
+
+import (
+	"bufio"
+	"bytes"
+	"net"
+	"testing"
+	"time"
+
+	"fscache/internal/futility"
+	"fscache/internal/shardcache"
+)
+
+// BenchFrameCodec measures one request frame round trip: encode, frame
+// read, parse. Steady-state zero-alloc: both the frame buffer and the read
+// buffer are reused.
+func BenchFrameCodec(b *testing.B) {
+	req := Request{Op: OpSet, Tenant: 1, DeadlineUS: 1000,
+		Key:   []byte("bench-key-0123456789"),
+		Value: bytes.Repeat([]byte{0xA5}, 64),
+	}
+	var frame, payload []byte
+	r := bytes.NewReader(nil)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		req.Seq = uint32(i)
+		frame = AppendRequest(frame[:0], &req)
+		r.Reset(frame)
+		var err error
+		payload, err = ReadFrame(r, payload)
+		if err != nil {
+			b.Fatal(err)
+		}
+		got, err := ParseRequest(payload)
+		if err != nil || got.Seq != uint32(i) {
+			b.Fatalf("round trip broke at %d: %v", i, err)
+		}
+	}
+}
+
+// BenchAdmissionDecide measures one walk of the degradation ladder in the
+// admitted (calm) regime: the per-request overhead admission adds to every
+// data-path request.
+func BenchAdmissionDecide(b *testing.B) {
+	a := newAdmission([]TenantConfig{
+		{Class: Guaranteed, Rate: 1e9}, // never empties during the run
+		{Class: BestEffort},            // unlimited
+	}, 256, 1024)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t := a.tenants[i&1]
+		if v := a.decide(t, OpGet, int64(i)); v != vAdmit {
+			b.Fatalf("unexpected verdict %d", v)
+		}
+	}
+}
+
+// BenchLoopbackRPC measures one synchronous GET round trip over TCP
+// loopback against a live server — codec, admission, store, engine and
+// both connection goroutines included. This is RPC latency, not engine
+// throughput; loopback scheduling dominates.
+func BenchLoopbackRPC(b *testing.B) {
+	srv, err := New(Config{
+		Addr: "127.0.0.1:0",
+		Tenants: []TenantConfig{
+			{Class: Guaranteed},
+			{Class: BestEffort},
+		},
+		Cache: shardcache.Config{
+			Lines: 4096, Ways: 16, Shards: 4, Parts: 2,
+			Ranking: futility.CoarseLRU, Seed: 1,
+		},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := srv.ListenAndServe(); err != nil {
+		b.Fatal(err)
+	}
+	defer func() { _ = srv.Shutdown(5 * time.Second) }()
+	nc, err := net.Dial("tcp", srv.Addr().String())
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer nc.Close()
+	br := bufio.NewReader(nc)
+
+	var frame, payload []byte
+	rpc := func(req *Request) Response {
+		frame = AppendRequest(frame[:0], req)
+		if _, err := nc.Write(frame); err != nil {
+			b.Fatal(err)
+		}
+		var err error
+		payload, err = ReadFrame(br, payload)
+		if err != nil {
+			b.Fatal(err)
+		}
+		resp, err := ParseResponse(payload)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return resp
+	}
+	set := Request{Op: OpSet, Tenant: 0, Seq: 1, Key: []byte("bench"), Value: []byte("payload")}
+	if resp := rpc(&set); resp.Status != StatusOK {
+		b.Fatalf("prime set: %v", resp.Status)
+	}
+	get := Request{Op: OpGet, Tenant: 0, Key: []byte("bench")}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		get.Seq = uint32(i + 2)
+		if resp := rpc(&get); resp.Status != StatusOK {
+			b.Fatalf("get: %v", resp.Status)
+		}
+	}
+}

@@ -1,0 +1,68 @@
+package server
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// coarseClock is a ticker-advanced monotonic clock: one background
+// goroutine stores nanoseconds-since-start into an atomic, and the hot
+// path reads it with a single atomic load. Deadline checks happen at least
+// twice per request on every connection, so they must not each cost a
+// time.Now call; the price is granularity (deadlines resolve to
+// clockTick), which is fine for millisecond-scale request deadlines.
+type coarseClock struct {
+	now   atomic.Int64 // nanoseconds since start
+	start time.Time
+	stop  chan struct{}
+	done  chan struct{}
+}
+
+// clockTick is the coarse clock's resolution. Wire deadlines shorter than
+// one tick may be judged expired a tick early or late; the protocol's
+// DeadlineUS field is documented as best-effort at this granularity.
+const clockTick = time.Millisecond
+
+func newCoarseClock() *coarseClock {
+	c := &coarseClock{
+		start: time.Now(),
+		stop:  make(chan struct{}),
+		done:  make(chan struct{}),
+	}
+	go c.run()
+	return c
+}
+
+func (c *coarseClock) run() {
+	defer close(c.done)
+	t := time.NewTicker(clockTick)
+	defer t.Stop()
+	for {
+		select {
+		case <-c.stop:
+			return
+		case <-t.C:
+			c.now.Store(int64(time.Since(c.start)))
+		}
+	}
+}
+
+// Now returns coarse nanoseconds since the clock started. Monotonic and
+// safe for concurrent use; successive reads may return the same value for
+// up to clockTick.
+func (c *coarseClock) Now() int64 { return c.now.Load() }
+
+// Sync forces an immediate refresh (used before computing a request's
+// expiry so a deadline never inherits a full tick of staleness on a
+// freshly woken connection, and by tests).
+func (c *coarseClock) Sync() int64 {
+	n := int64(time.Since(c.start))
+	c.now.Store(n)
+	return n
+}
+
+// Close stops the background ticker goroutine.
+func (c *coarseClock) Close() {
+	close(c.stop)
+	<-c.done
+}

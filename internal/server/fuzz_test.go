@@ -1,0 +1,93 @@
+package server
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+)
+
+// FuzzFrameStream exercises the codec one level below FuzzFrame (which
+// fuzzes bare payloads): arbitrary byte *streams* through ReadFrame — torn
+// length prefixes, hostile lengths, pipelined frames — must never panic or
+// allocate beyond MaxFrame, and any payload accepted must survive a
+// re-encode/re-parse round trip. This is the same totality contract the
+// network fault injector probes dynamically (corrupt length prefixes, torn
+// frames); the fuzzer probes it without needing a socket.
+func FuzzFrameStream(f *testing.F) {
+	// Seed corpus: well-formed frames for each shape the server emits or
+	// accepts, plus the canonical corruption modes.
+	var seed []byte
+	seed = AppendRequest(seed[:0], &Request{Op: OpPing, Seq: 1})
+	f.Add(append([]byte(nil), seed...))
+	seed = AppendRequest(seed[:0], &Request{
+		Op: OpGet, Tenant: 1, Seq: 7, DeadlineUS: 2500, Key: []byte("k-0001"),
+	})
+	getFrame := append([]byte(nil), seed...)
+	f.Add(getFrame)
+	seed = AppendRequest(seed[:0], &Request{
+		Op: OpSet, Tenant: 0, Seq: 8, Key: []byte("k"), Value: bytes.Repeat([]byte{0xA5}, 96),
+	})
+	f.Add(append([]byte(nil), seed...))
+	seed = AppendResponse(seed[:0], &Response{
+		Status: StatusOK, Tenant: 1, Flags: FlagHit, Seq: 7, Value: []byte("v"),
+	})
+	f.Add(append([]byte(nil), seed...))
+
+	f.Add(getFrame[:3])               // torn length prefix
+	f.Add(getFrame[:lenPrefixSize+5]) // torn payload
+	huge := append([]byte(nil), getFrame...)
+	binary.LittleEndian.PutUint32(huge[:4], MaxFrame+1) // hostile prefix
+	f.Add(huge)
+	badver := append([]byte(nil), getFrame...)
+	badver[lenPrefixSize] = Version + 1 // unsupported version
+	f.Add(badver)
+	two := append(append([]byte(nil), getFrame...), getFrame...) // pipelined
+	f.Add(two)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := bytes.NewReader(data)
+		var buf []byte
+		for {
+			payload, err := ReadFrame(r, buf)
+			if err != nil {
+				break
+			}
+			buf = payload
+			if len(payload) > MaxFrame {
+				t.Fatalf("ReadFrame returned %d bytes, above MaxFrame", len(payload))
+			}
+			if req, err := ParseRequest(payload); err == nil {
+				enc := AppendRequest(nil, &req)
+				back, err := ReadFrame(bytes.NewReader(enc), nil)
+				if err != nil {
+					t.Fatalf("re-read of re-encoded request: %v", err)
+				}
+				req2, err := ParseRequest(back)
+				if err != nil {
+					t.Fatalf("re-parse of re-encoded request: %v", err)
+				}
+				if req2.Op != req.Op || req2.Tenant != req.Tenant ||
+					req2.Seq != req.Seq || req2.DeadlineUS != req.DeadlineUS ||
+					!bytes.Equal(req2.Key, req.Key) || !bytes.Equal(req2.Value, req.Value) {
+					t.Fatalf("request round trip changed: %+v != %+v", req2, req)
+				}
+			}
+			if resp, err := ParseResponse(payload); err == nil {
+				enc := AppendResponse(nil, &resp)
+				back, err := ReadFrame(bytes.NewReader(enc), nil)
+				if err != nil {
+					t.Fatalf("re-read of re-encoded response: %v", err)
+				}
+				resp2, err := ParseResponse(back)
+				if err != nil {
+					t.Fatalf("re-parse of re-encoded response: %v", err)
+				}
+				if resp2.Status != resp.Status || resp2.Tenant != resp.Tenant ||
+					resp2.Flags != resp.Flags || resp2.Seq != resp.Seq ||
+					!bytes.Equal(resp2.Value, resp.Value) {
+					t.Fatalf("response round trip changed: %+v != %+v", resp2, resp)
+				}
+			}
+		}
+	})
+}

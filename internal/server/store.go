@@ -1,0 +1,125 @@
+package server
+
+import (
+	"sync"
+
+	"fscache/internal/xrand"
+)
+
+// store holds the real bytes behind the simulated replacement decisions.
+// It is keyed by the same 64-bit address the engine sees (hashKey of the
+// wire key), so the synchronization contract is direct:
+//
+//   - a SET that the engine admits installs a line for addr and Puts the
+//     bytes; if the engine evicted a victim, the victim's addr is Deleted
+//     in the same request, so store residency tracks line residency;
+//   - a GET consults the store first — bytes present mean the line is (or
+//     was a moment ago) resident — and only then refreshes the engine.
+//
+// Two keys colliding on the full 64-bit hash alias one cache line, exactly
+// like address aliasing in the simulator; the stored entry keeps the wire
+// key so a GET never returns another key's bytes on a collision (it
+// reports NotFound instead).
+//
+// The store is sharded by address so connection goroutines do not fight
+// over one map lock; shard count is fixed at construction (power of two).
+type store struct {
+	shards []storeShard
+	mask   uint64
+}
+
+type storeShard struct {
+	mu sync.RWMutex
+	//fs:guardedby mu
+	m map[uint64]storeEntry
+	//fs:guardedby mu
+	bytes int64
+}
+
+type storeEntry struct {
+	key string
+	val []byte
+}
+
+func newStore(shards int) *store {
+	if shards <= 0 || shards&(shards-1) != 0 {
+		panic("server: store shard count must be a positive power of two")
+	}
+	s := &store{shards: make([]storeShard, shards), mask: uint64(shards - 1)}
+	for i := range s.shards {
+		//fslint:ignore lockcheck constructor init; the store has not escaped newStore yet
+		s.shards[i].m = make(map[uint64]storeEntry)
+	}
+	return s
+}
+
+// hashKey maps a wire key to the 64-bit address the engine and the store
+// share: FNV-1a over the bytes, finalized with Mix64 so low-entropy keys
+// still spread across the H3 index null space (see shardcache on why raw
+// low-entropy addresses are unsafe).
+func hashKey(key []byte) uint64 {
+	const offset64 = 14695981039346656037
+	const prime64 = 1099511628211
+	h := uint64(offset64)
+	for _, b := range key {
+		h ^= uint64(b)
+		h *= prime64
+	}
+	return xrand.Mix64(h)
+}
+
+func (s *store) shard(addr uint64) *storeShard {
+	// Addresses are Mix64-finalized; the low bits are already uniform.
+	return &s.shards[addr&s.mask]
+}
+
+// Get returns the value stored for addr if its key matches.
+func (s *store) Get(addr uint64, key []byte) ([]byte, bool) {
+	sh := s.shard(addr)
+	sh.mu.RLock()
+	e, ok := sh.m[addr]
+	sh.mu.RUnlock()
+	if !ok || e.key != string(key) {
+		return nil, false
+	}
+	return e.val, true
+}
+
+// Put stores value bytes for addr (copying both key and value out of the
+// frame buffer) and returns the store's byte-count delta.
+func (s *store) Put(addr uint64, key, val []byte) {
+	e := storeEntry{key: string(key), val: append([]byte(nil), val...)}
+	sh := s.shard(addr)
+	sh.mu.Lock()
+	if old, ok := sh.m[addr]; ok {
+		sh.bytes -= int64(len(old.key) + len(old.val))
+	}
+	sh.m[addr] = e
+	sh.bytes += int64(len(e.key) + len(e.val))
+	sh.mu.Unlock()
+}
+
+// Delete drops addr's bytes, reporting whether an entry existed.
+func (s *store) Delete(addr uint64) bool {
+	sh := s.shard(addr)
+	sh.mu.Lock()
+	e, ok := sh.m[addr]
+	if ok {
+		sh.bytes -= int64(len(e.key) + len(e.val))
+		delete(sh.m, addr)
+	}
+	sh.mu.Unlock()
+	return ok
+}
+
+// Stats returns the entry and byte totals across shards.
+func (s *store) Stats() (entries int, bytes int64) {
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.RLock()
+		entries += len(sh.m)
+		bytes += sh.bytes
+		sh.mu.RUnlock()
+	}
+	return entries, bytes
+}

@@ -347,6 +347,29 @@ func (e *Engine) MeanOccupancy(part int) float64 {
 	return total
 }
 
+// PartSizes sums each partition's current decision size across shards into
+// dst (allocated when nil or too short) and returns it. Unlike Snapshot it
+// copies no histograms, so serving layers can poll it on a stats path
+// without deep-copying every shard's measurement state.
+func (e *Engine) PartSizes(dst []int) []int {
+	if len(dst) < e.cfg.Parts {
+		dst = make([]int, e.cfg.Parts)
+	}
+	dst = dst[:e.cfg.Parts]
+	for i := range dst {
+		dst[i] = 0
+	}
+	for _, s := range e.shards {
+		s.mu.Lock()
+		sizes := s.cache.Sizes()
+		for p, n := range sizes {
+			dst[p] += n
+		}
+		s.mu.Unlock()
+	}
+	return dst
+}
+
 // ShardSnapshots returns each shard's StatsSnapshot in shard index order.
 func (e *Engine) ShardSnapshots() []core.Snapshot {
 	out := make([]core.Snapshot, len(e.shards))

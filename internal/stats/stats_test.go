@@ -180,6 +180,114 @@ func TestHistogramMerge(t *testing.T) {
 	}
 }
 
+// TestHistogramMergePooledEquivalence pins the property the serving layer's
+// per-connection latency accounting relies on (internal/server merges each
+// connection's histogram into the global one at close): merging K disjoint
+// histograms must be indistinguishable — counts, N, mean, every quantile,
+// full CDF — from one histogram fed all samples directly, regardless of how
+// the samples were sharded or the order the shards merge in.
+func TestHistogramMergePooledEquivalence(t *testing.T) {
+	const (
+		buckets = 64
+		shards  = 5
+		samples = 4000
+	)
+	rng := xrand.New(0x4e11)
+	pooled := NewHistogram(buckets)
+	parts := make([]*Histogram, shards)
+	for i := range parts {
+		parts[i] = NewHistogram(buckets)
+	}
+	for i := 0; i < samples; i++ {
+		x := rng.Float64() * rng.Float64() // skewed, like latencies
+		pooled.Add(x)
+		parts[rng.Intn(shards)].Add(x)
+	}
+	// Merge in a scrambled order, through an intermediate accumulator, to
+	// catch any order- or associativity-sensitivity.
+	merged := NewHistogram(buckets)
+	for _, i := range []int{3, 0, 4, 2, 1} {
+		merged.Merge(parts[i])
+	}
+	if merged.N() != pooled.N() {
+		t.Fatalf("merged N = %d, pooled N = %d", merged.N(), pooled.N())
+	}
+	if !almost(merged.Mean(), pooled.Mean(), 1e-12) {
+		t.Fatalf("merged Mean = %v, pooled Mean = %v", merged.Mean(), pooled.Mean())
+	}
+	mc, pc := merged.Counts(), pooled.Counts()
+	for i := range mc {
+		if mc[i] != pc[i] {
+			t.Fatalf("bucket %d: merged %d, pooled %d", i, mc[i], pc[i])
+		}
+	}
+	for q := 0.0; q <= 1.0; q += 1.0 / 64 {
+		if m, p := merged.Quantile(q), pooled.Quantile(q); m != p {
+			t.Fatalf("Quantile(%v): merged %v, pooled %v", q, m, p)
+		}
+	}
+	mcdf, pcdf := merged.CDF(), pooled.CDF()
+	for i := range mcdf {
+		if mcdf[i] != pcdf[i] {
+			t.Fatalf("CDF[%d]: merged %v, pooled %v", i, mcdf[i], pcdf[i])
+		}
+	}
+}
+
+// TestHistogramMergeEmpty pins both identity directions: merging an empty
+// histogram changes nothing, and merging into an empty histogram clones the
+// source's observable state.
+func TestHistogramMergeEmpty(t *testing.T) {
+	src := NewHistogram(16)
+	for _, x := range []float64{0.1, 0.1, 0.5, 0.9} {
+		src.Add(x)
+	}
+	before := src.Clone()
+	src.Merge(NewHistogram(16))
+	if src.N() != before.N() || src.Mean() != before.Mean() {
+		t.Fatalf("merging empty changed state: N %d→%d, Mean %v→%v",
+			before.N(), src.N(), before.Mean(), src.Mean())
+	}
+	for i, c := range src.Counts() {
+		if c != before.Counts()[i] {
+			t.Fatalf("merging empty changed bucket %d", i)
+		}
+	}
+
+	dst := NewHistogram(16)
+	dst.Merge(src)
+	if dst.N() != src.N() || dst.Mean() != src.Mean() {
+		t.Fatalf("merge into empty: N %d vs %d, Mean %v vs %v",
+			dst.N(), src.N(), dst.Mean(), src.Mean())
+	}
+	for q := 0.0; q <= 1.0; q += 0.25 {
+		if dst.Quantile(q) != src.Quantile(q) {
+			t.Fatalf("merge into empty: Quantile(%v) %v vs %v", q, dst.Quantile(q), src.Quantile(q))
+		}
+	}
+	// Empty-into-empty stays empty and quantiles stay at their zero value.
+	e := NewHistogram(16)
+	e.Merge(NewHistogram(16))
+	if e.N() != 0 || e.Quantile(0.5) != 0 {
+		t.Fatalf("empty merge: N=%d Quantile=%v", e.N(), e.Quantile(0.5))
+	}
+}
+
+// TestHistogramMergeDoesNotAliasSource verifies Merge copies counts rather
+// than retaining a reference: mutating the source afterwards must not leak
+// into the destination.
+func TestHistogramMergeDoesNotAliasSource(t *testing.T) {
+	src := NewHistogram(8)
+	src.Add(0.5)
+	dst := NewHistogram(8)
+	dst.Merge(src)
+	src.Add(0.5)
+	src.Add(0.125)
+	if dst.N() != 1 {
+		t.Fatalf("destination saw source mutations: N = %d", dst.N())
+	}
+}
+
 func TestHistogramMergeWidthMismatchPanics(t *testing.T) {
 	defer func() {
 		if recover() == nil {
