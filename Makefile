@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test race lint check fmt fuzz smoke bench benchjson cover soak load serve netsoak
+.PHONY: build test race lint check fmt fuzz smoke bench benchjson bench-gate cover soak load serve netsoak
 
 build:
 	$(GO) build ./...
@@ -44,11 +44,22 @@ smoke:
 bench:
 	$(GO) test -run='^$$' -bench=. -benchmem ./internal/ost ./internal/futility ./internal/core
 
-# Full fsbench run: writes BENCH_<date>.json and diffs against the newest
-# committed baseline (advisory). Refresh the committed file when a PR is
-# expected to move the numbers; see DESIGN.md §10.
+# Full fsbench run: writes BENCH_<date>.json with the GOMAXPROCS sweep and
+# diffs against the newest committed baseline (advisory). Refresh the
+# committed file when a PR is expected to move the numbers; see DESIGN.md
+# §10 and §15.
 benchjson:
-	$(GO) run ./cmd/fsbench -compare "$$(ls BENCH_*.json 2>/dev/null | sort | tail -1)"
+	$(GO) run ./cmd/fsbench -count 3 -procs 1,2,4,8,16 -compare "$$(ls BENCH_*.json 2>/dev/null | sort | tail -1)"
+
+# CI perf ratchet: short-benchtime registry run with the GOMAXPROCS sweep,
+# gated against the newest committed baseline. Fails on zero-alloc contract
+# breaches and allocs/op growth unconditionally, on ns/op tolerance-band
+# breaches when the environment matches the baseline, and on parallel rows
+# scaling below MinScale x min(procs, NumCPU) within this run. Refuses
+# outright to compare across different -procs sweeps.
+bench-gate:
+	$(GO) run ./cmd/fsbench -benchtime 100ms -count 3 -procs 1,2,4,8,16 -out bench-gate.json -gate \
+		-compare "$$(ls BENCH_*.json 2>/dev/null | sort | tail -1)"
 
 # Advisory coverage: writes the merged profile (cover.out) and a per-package
 # summary (cover.txt, also printed). Never fails on a threshold — coverage
@@ -67,7 +78,7 @@ soak:
 # throughput, latency quantiles and per-partition occupancy error
 # (DESIGN.md §12). CI runs the same configuration in its race job.
 load:
-	$(GO) run -race ./cmd/fsload -shards 2 -workers 4 -duration 2s
+	$(GO) run -race ./cmd/fsload -shards 2 -stripes 4 -workers 4 -batch 16 -duration 2s
 
 # Run the multi-tenant cache server in the foreground with two tenants
 # (one guaranteed, one best-effort) and a 2:1 capacity split. Ctrl-C drains.

@@ -1,18 +1,41 @@
 // Command fsbench runs the internal/perfbench registry standalone and emits
 // a machine-readable BENCH_<date>.json report: ns/op, B/op, allocs/op and —
 // for per-access benchmarks — accesses/sec for every hot path in the
-// replacement pipeline. CI runs it as a smoke test and archives the JSON so
-// the repo carries its performance trajectory alongside its correctness
-// suite; the committed BENCH_*.json files are refreshed whenever a PR is
-// expected to move the numbers (see DESIGN.md §10).
+// replacement pipeline. Parallel benchmarks (the GOMAXPROCS scaling rows)
+// are swept across the -procs settings, one result row per setting, so the
+// report carries the ops/s-vs-GOMAXPROCS curve. CI runs it with -gate and
+// archives the JSON so the repo carries its performance trajectory alongside
+// its correctness suite; the committed BENCH_*.json files are refreshed
+// whenever a PR is expected to move the numbers (see DESIGN.md §10, §15).
+//
+// Gating (-gate) enforces three ratchets and exits 1 on violation:
+//
+//   - allocs/op against a zero-allocation contract, and allocs/op growth
+//     against the -compare baseline: gated unconditionally — allocation
+//     counts are deterministic, so there is no noise excuse.
+//   - ns/op against the baseline: gated only when the baseline was captured
+//     on a matching environment (num_cpu, goos, goarch), within each
+//     benchmark's tolerance band. On a foreign environment ns/op deltas are
+//     advisory.
+//   - scaling efficiency, within the current run: a parallel benchmark's
+//     throughput at the top -procs setting P must be at least
+//     MinScale × min(P, NumCPU) × its 1-proc throughput. min(P, NumCPU)
+//     keeps the bound honest on machines with fewer cores than the sweep.
+//
+// -compare refuses (exit 2) to diff runs whose parallel rows were captured
+// at different -procs settings: a 4-proc figure against an 8-proc figure is
+// not a regression signal, it is a category error.
 //
 // Examples:
 //
-//	fsbench                        # full run, writes BENCH_<today>.json
-//	fsbench -quick                 # short benchtime for CI smoke
-//	fsbench -list                  # print the registry and exit
-//	fsbench -run 'core/'           # only benchmarks whose name contains core/
-//	fsbench -compare BENCH_old.json  # advisory delta report (never fails)
+//	fsbench                                  # full run, writes BENCH_<today>.json
+//	fsbench -quick                           # short benchtime for CI smoke
+//	fsbench -list                            # print the registry and exit
+//	fsbench -run 'core/'                     # only benchmarks matching core/
+//	fsbench -procs 1,2,4,8,16                # sweep parallel rows across GOMAXPROCS
+//	fsbench -compare BENCH_old.json          # advisory delta report
+//	fsbench -benchtime 100ms -count 3 -procs 1,2,4,8,16 \
+//	        -compare BENCH_old.json -gate    # CI ratchet (make bench-gate)
 package main
 
 import (
@@ -21,6 +44,8 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"sort"
+	"strconv"
 	"strings"
 	"testing"
 	"time"
@@ -30,16 +55,19 @@ import (
 
 // Report is the BENCH_<date>.json schema.
 type Report struct {
-	Date      string   `json:"date"`
-	GoVersion string   `json:"go_version"`
-	GOOS      string   `json:"goos"`
-	GOARCH    string   `json:"goarch"`
-	NumCPU    int      `json:"num_cpu"`
-	Benchtime string   `json:"benchtime"`
-	Results   []Result `json:"results"`
+	Date      string `json:"date"`
+	GoVersion string `json:"go_version"`
+	GOOS      string `json:"goos"`
+	GOARCH    string `json:"goarch"`
+	NumCPU    int    `json:"num_cpu"`
+	// GoMaxProcs is the setting fsbench launched with; individual parallel
+	// results record the setting they ran at in Result.Procs.
+	GoMaxProcs int      `json:"gomaxprocs"`
+	Benchtime  string   `json:"benchtime"`
+	Results    []Result `json:"results"`
 }
 
-// Result is one benchmark's measurement.
+// Result is one benchmark's measurement at one GOMAXPROCS setting.
 type Result struct {
 	Name        string  `json:"name"`
 	Doc         string  `json:"doc"`
@@ -47,6 +75,11 @@ type Result struct {
 	NsPerOp     float64 `json:"ns_per_op"`
 	BPerOp      int64   `json:"b_per_op"`
 	AllocsPerOp int64   `json:"allocs_per_op"`
+	// Procs is the GOMAXPROCS the result was captured at. Comparisons only
+	// pair results with equal Procs.
+	Procs int `json:"procs"`
+	// Parallel marks GOMAXPROCS-swept rows (perfbench.Benchmark.Parallel).
+	Parallel bool `json:"parallel,omitempty"`
 	// AccessesPerSec is 1e9/NsPerOp for benchmarks whose op is one cache
 	// access, 0 otherwise.
 	AccessesPerSec float64 `json:"accesses_per_sec,omitempty"`
@@ -55,22 +88,46 @@ type Result struct {
 	ZeroAllocContract bool `json:"zero_alloc_contract,omitempty"`
 }
 
+// defaultTol is the ns/op tolerance band used when a benchmark does not
+// declare its own: generous because even same-machine runs share the CPU
+// with the rest of CI.
+const defaultTol = 0.35
+
+// nsSlack is an absolute addition to every ns/op band. Single-digit-ns
+// benchmarks (the coarse ranker ticks) can swing 2x on timer granularity
+// and frequency scaling alone, where a purely relative band would flag
+// noise as regression; 15 ns is irrelevant to the microsecond-scale rows
+// and exactly the protection the nanosecond-scale ones need.
+const nsSlack = 15.0
+
 func main() {
 	var (
 		quick   = flag.Bool("quick", false, "short benchtime (20ms) for CI smoke runs")
 		list    = flag.Bool("list", false, "list registered benchmarks and exit")
 		run     = flag.String("run", "", "only run benchmarks whose name contains this substring")
 		out     = flag.String("out", "", "output JSON path (default BENCH_<date>.json)")
-		compare = flag.String("compare", "", "prior BENCH_*.json to diff against (advisory; never affects exit status)")
+		compare = flag.String("compare", "", "prior BENCH_*.json to diff against")
+		gate    = flag.Bool("gate", false, "fail (exit 1) on contract, tolerance-band or scaling violations")
+		count   = flag.Int("count", 1, "samples per benchmark; ns/op is the minimum (noise-robust), contracts check every sample")
+		procsF  = flag.String("procs", "", "comma-separated GOMAXPROCS sweep for parallel benchmarks, e.g. 1,2,4,8,16")
 		btime   = flag.String("benchtime", "", "explicit test.benchtime value (overrides -quick)")
 	)
 	flag.Parse()
 
 	if *list {
 		for _, b := range perfbench.Registry() {
-			fmt.Printf("%-24s %s\n", b.Name, b.Doc)
+			tag := ""
+			if b.Parallel {
+				tag = "  [parallel]"
+			}
+			fmt.Printf("%-32s %s%s\n", b.Name, b.Doc, tag)
 		}
 		return
+	}
+
+	procs, err := parseProcs(*procsF)
+	if err != nil {
+		fail(err.Error())
 	}
 
 	bt := "1s"
@@ -87,44 +144,78 @@ func main() {
 		fail(err.Error())
 	}
 
+	launchProcs := runtime.GOMAXPROCS(0)
 	rep := Report{
-		Date:      time.Now().Format("2006-01-02"),
-		GoVersion: runtime.Version(),
-		GOOS:      runtime.GOOS,
-		GOARCH:    runtime.GOARCH,
-		NumCPU:    runtime.NumCPU(),
-		Benchtime: bt,
+		Date:       time.Now().Format("2006-01-02"),
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		NumCPU:     runtime.NumCPU(),
+		GoMaxProcs: launchProcs,
+		Benchtime:  bt,
 	}
 
+	var violations []string
 	for _, b := range perfbench.Registry() {
 		if *run != "" && !strings.Contains(b.Name, *run) {
 			continue
 		}
-		fmt.Fprintf(os.Stderr, "running %-24s ", b.Name)
-		r := testing.Benchmark(b.Fn)
-		res := Result{
-			Name:              b.Name,
-			Doc:               b.Doc,
-			N:                 r.N,
-			NsPerOp:           float64(r.T.Nanoseconds()) / float64(r.N),
-			BPerOp:            r.AllocedBytesPerOp(),
-			AllocsPerOp:       r.AllocsPerOp(),
-			ZeroAllocContract: b.ZeroAlloc,
+		sweep := []int{launchProcs}
+		if b.Parallel && len(procs) > 0 {
+			sweep = procs
 		}
-		if b.PerAccess && res.NsPerOp > 0 {
-			res.AccessesPerSec = 1e9 / res.NsPerOp
+		for _, p := range sweep {
+			if p != runtime.GOMAXPROCS(0) {
+				runtime.GOMAXPROCS(p)
+			}
+			fmt.Fprintf(os.Stderr, "running %-34s ", label(b.Name, b.Parallel, p))
+			// Min-of-count: on a shared machine the minimum is the sample
+			// least polluted by neighbours, so it is what the tolerance
+			// bands compare. Allocation contracts are deterministic and
+			// check on every sample.
+			r := testing.Benchmark(b.Fn)
+			for s := 1; s < *count; s++ {
+				if b.ZeroAlloc && r.AllocsPerOp() != 0 {
+					break // already in violation; no need for more samples
+				}
+				r2 := testing.Benchmark(b.Fn)
+				if float64(r2.T.Nanoseconds())/float64(r2.N) <
+					float64(r.T.Nanoseconds())/float64(r.N) {
+					r = r2
+				} else if b.ZeroAlloc && r2.AllocsPerOp() != 0 {
+					r = r2
+				}
+			}
+			res := Result{
+				Name:              b.Name,
+				Doc:               b.Doc,
+				N:                 r.N,
+				NsPerOp:           float64(r.T.Nanoseconds()) / float64(r.N),
+				BPerOp:            r.AllocedBytesPerOp(),
+				AllocsPerOp:       r.AllocsPerOp(),
+				Procs:             p,
+				Parallel:          b.Parallel,
+				ZeroAllocContract: b.ZeroAlloc,
+			}
+			if b.PerAccess && res.NsPerOp > 0 {
+				res.AccessesPerSec = 1e9 / res.NsPerOp
+			}
+			fmt.Fprintf(os.Stderr, "%12.1f ns/op %6d B/op %4d allocs/op\n",
+				res.NsPerOp, res.BPerOp, res.AllocsPerOp)
+			if b.ZeroAlloc && res.AllocsPerOp != 0 {
+				violations = append(violations, fmt.Sprintf(
+					"%s reports %d allocs/op against a zero-allocation contract",
+					b.Name, res.AllocsPerOp))
+			}
+			rep.Results = append(rep.Results, res)
 		}
-		fmt.Fprintf(os.Stderr, "%12.1f ns/op %6d B/op %4d allocs/op\n",
-			res.NsPerOp, res.BPerOp, res.AllocsPerOp)
-		if b.ZeroAlloc && res.AllocsPerOp != 0 {
-			fmt.Fprintf(os.Stderr, "fsbench: WARNING: %s reports %d allocs/op against a zero-allocation contract\n",
-				b.Name, res.AllocsPerOp)
-		}
-		rep.Results = append(rep.Results, res)
 	}
+	runtime.GOMAXPROCS(launchProcs)
 	if len(rep.Results) == 0 {
 		fail("no benchmarks matched -run " + *run)
 	}
+
+	violations = append(violations, checkScaling(rep)...)
 
 	path := *out
 	if path == "" {
@@ -141,48 +232,192 @@ func main() {
 	fmt.Fprintf(os.Stderr, "fsbench: wrote %s\n", path)
 
 	if *compare != "" {
-		compareReports(*compare, rep)
+		violations = append(violations, compareReports(*compare, rep)...)
+	}
+
+	for _, v := range violations {
+		fmt.Fprintf(os.Stderr, "fsbench: VIOLATION: %s\n", v)
+	}
+	if len(violations) > 0 && *gate {
+		fmt.Fprintf(os.Stderr, "fsbench: %d gated violation(s)\n", len(violations))
+		os.Exit(1)
+	}
+	if len(violations) > 0 {
+		fmt.Fprintf(os.Stderr, "fsbench: %d violation(s), advisory without -gate\n", len(violations))
 	}
 }
 
-// compareReports prints an advisory per-benchmark delta against a prior
-// report. It deliberately never exits non-zero: shared CI runners make
-// ns/op too noisy to gate on, so regressions are surfaced, not enforced.
-func compareReports(path string, cur Report) {
+func label(name string, parallel bool, procs int) string {
+	if !parallel {
+		return name
+	}
+	return name + "@p" + strconv.Itoa(procs)
+}
+
+// parseProcs parses a comma-separated GOMAXPROCS sweep list.
+func parseProcs(s string) ([]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []int
+	for _, f := range strings.Split(s, ",") {
+		p, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || p < 1 {
+			return nil, fmt.Errorf("-procs: bad entry %q", f)
+		}
+		out = append(out, p)
+	}
+	sort.Ints(out)
+	return out, nil
+}
+
+// checkScaling enforces the within-run scaling-efficiency bands: for every
+// parallel benchmark with a MinScale and results at more than one setting,
+// throughput at the top setting P must be at least
+// MinScale × min(P, NumCPU) × the 1-proc throughput. The factor
+// min(P, NumCPU) is what makes the band honest: on an 8-core runner the
+// get-heavy band (0.375) demands the acceptance ≥3× at P=8, while a 1-CPU
+// runner — where parallel speedup is physically impossible — only demands
+// that striping not cost more than the band itself.
+func checkScaling(rep Report) []string {
+	byName := map[string]map[int]Result{}
+	for _, r := range rep.Results {
+		if !r.Parallel {
+			continue
+		}
+		if byName[r.Name] == nil {
+			byName[r.Name] = map[int]Result{}
+		}
+		byName[r.Name][r.Procs] = r
+	}
+	var out []string
+	for _, b := range perfbench.Registry() {
+		if !b.Parallel || b.MinScale <= 0 {
+			continue
+		}
+		rows := byName[b.Name]
+		base, haveBase := rows[1]
+		if !haveBase || len(rows) < 2 {
+			continue // no sweep: nothing to gate
+		}
+		top := 0
+		for p := range rows {
+			if p > top {
+				top = p
+			}
+		}
+		effCores := top
+		if rep.NumCPU < effCores {
+			effCores = rep.NumCPU
+		}
+		got := rows[top].AccessesPerSec / base.AccessesPerSec
+		want := b.MinScale * float64(effCores)
+		status := "ok"
+		if got < want {
+			status = "FAIL"
+			out = append(out, fmt.Sprintf(
+				"%s: throughput scaling %.2fx at procs=%d, want >= %.2fx (MinScale %.3f x min(%d, %d cpus))",
+				b.Name, got, top, want, b.MinScale, top, rep.NumCPU))
+		}
+		fmt.Fprintf(os.Stderr, "scaling %-32s %5.2fx at p%d (band >= %.2fx) %s\n",
+			b.Name, got, top, want, status)
+	}
+	return out
+}
+
+// compareReports diffs the current run against a prior report and returns
+// gated violations: allocs/op growth always, ns/op band breaches only when
+// the baseline environment matches. Results pair by (name, procs); if a
+// benchmark present in both runs was swept at different -procs settings the
+// comparison refuses outright (exit 2) — cross-parallelism deltas are
+// meaningless, and silently diffing them would launder a category error
+// into a pass or a spurious failure.
+func compareReports(path string, cur Report) []string {
 	data, err := os.ReadFile(path)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "fsbench: compare: %v (skipping)\n", err)
-		return
+		fail(fmt.Sprintf("compare: %v", err))
 	}
 	var old Report
 	if err := json.Unmarshal(data, &old); err != nil {
-		fmt.Fprintf(os.Stderr, "fsbench: compare: %s: %v (skipping)\n", path, err)
-		return
+		fail(fmt.Sprintf("compare: %s: %v", path, err))
 	}
+
+	oldProcs := procsSets(old)
+	for name, curSet := range procsSets(cur) {
+		if oldSet, ok := oldProcs[name]; ok && oldSet != curSet {
+			fail(fmt.Sprintf(
+				"compare: %s was captured at procs [%s] in %s but [%s] in this run; re-run with matching -procs instead of comparing across parallelism",
+				name, oldSet, path, curSet))
+		}
+	}
+
+	envMatched := old.NumCPU == cur.NumCPU && old.GOOS == cur.GOOS && old.GOARCH == cur.GOARCH
 	base := map[string]Result{}
 	for _, r := range old.Results {
-		base[r.Name] = r
+		base[label(r.Name, r.Parallel, r.Procs)] = r
 	}
-	fmt.Printf("\ncomparison vs %s (%s), advisory only:\n", path, old.Date)
-	fmt.Printf("%-24s %12s %12s %8s\n", "benchmark", "old ns/op", "new ns/op", "delta")
+
+	mode := "ns/op bands enforced (matching environment)"
+	if !envMatched {
+		mode = fmt.Sprintf("ns/op advisory only (environment differs: %d cpu %s/%s vs %d cpu %s/%s)",
+			old.NumCPU, old.GOOS, old.GOARCH, cur.NumCPU, cur.GOOS, cur.GOARCH)
+	}
+	fmt.Printf("\ncomparison vs %s (%s): allocs gated, %s\n", path, old.Date, mode)
+	fmt.Printf("%-34s %12s %12s %8s\n", "benchmark", "old ns/op", "new ns/op", "delta")
+
+	var out []string
 	for _, r := range cur.Results {
-		o, ok := base[r.Name]
+		key := label(r.Name, r.Parallel, r.Procs)
+		o, ok := base[key]
 		if !ok || o.N == 0 {
-			fmt.Printf("%-24s %12s %12.1f %8s\n", r.Name, "-", r.NsPerOp, "new")
+			fmt.Printf("%-34s %12s %12.1f %8s\n", key, "-", r.NsPerOp, "new")
 			continue
 		}
-		delta := (r.NsPerOp - o.NsPerOp) / o.NsPerOp * 100
-		mark := ""
-		if delta > 10 {
-			mark = "  << regression?"
-		} else if delta < -10 {
-			mark = "  << improvement"
+		tol := defaultTol
+		if b, ok := perfbench.ByName(r.Name); ok && b.Tol > 0 {
+			tol = b.Tol
 		}
-		fmt.Printf("%-24s %12.1f %12.1f %+7.1f%%%s\n", r.Name, o.NsPerOp, r.NsPerOp, delta, mark)
+		delta := (r.NsPerOp - o.NsPerOp) / o.NsPerOp
+		overBand := r.NsPerOp > o.NsPerOp*(1+tol)+nsSlack
+		mark := ""
+		switch {
+		case envMatched && overBand:
+			mark = "  << over band"
+			out = append(out, fmt.Sprintf("%s: ns/op %.1f vs %.1f in %s, band +%.0f%%+%.0fns",
+				key, r.NsPerOp, o.NsPerOp, path, tol*100, nsSlack))
+		case delta < -tol:
+			mark = "  << improvement; consider refreshing the baseline"
+		case overBand:
+			mark = "  << regression? (advisory: foreign environment)"
+		}
+		fmt.Printf("%-34s %12.1f %12.1f %+7.1f%%%s\n", key, o.NsPerOp, r.NsPerOp, delta*100, mark)
 		if r.AllocsPerOp > o.AllocsPerOp {
-			fmt.Printf("%-24s allocs/op grew %d -> %d\n", "", o.AllocsPerOp, r.AllocsPerOp)
+			out = append(out, fmt.Sprintf("%s: allocs/op grew %d -> %d vs %s",
+				key, o.AllocsPerOp, r.AllocsPerOp, path))
 		}
 	}
+	return out
+}
+
+// procsSets maps each parallel benchmark name to the sorted set of procs
+// settings it was captured at, rendered as a string for direct comparison.
+func procsSets(rep Report) map[string]string {
+	byName := map[string][]int{}
+	for _, r := range rep.Results {
+		if r.Parallel {
+			byName[r.Name] = append(byName[r.Name], r.Procs)
+		}
+	}
+	out := map[string]string{}
+	for name, ps := range byName {
+		sort.Ints(ps)
+		parts := make([]string, len(ps))
+		for i, p := range ps {
+			parts[i] = strconv.Itoa(p)
+		}
+		out[name] = strings.Join(parts, ",")
+	}
+	return out
 }
 
 func fail(msg string) {

@@ -17,6 +17,12 @@
 //	fsload                                  # 4 shards, 4 workers, 5s
 //	fsload -shards 1 -workers 4             # contention baseline
 //	fsload -shards 2 -workers 4 -duration 2s -seed 7
+//	fsload -stripes 4 -batch 32             # striped locks, batched submission
+//	fsload -procs 1,2,4,8,16 -duration 1s   # GOMAXPROCS scaling sweep
+//
+// The -procs sweep runs one fresh engine per GOMAXPROCS setting and emits a
+// single throughput/latency row per setting plus the speedup relative to
+// the first setting — the data for the scaling curve in one invocation.
 //
 // With -net, fsload instead drives a running fsserve instance over TCP as
 // a closed-loop client fleet with retry/backoff, optional hedging and
@@ -34,10 +40,14 @@ import (
 	"fmt"
 	"math"
 	"os"
+	"runtime"
+	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"fscache/internal/core"
 	"fscache/internal/futility"
 	"fscache/internal/shardcache"
 	"fscache/internal/stats"
@@ -64,12 +74,15 @@ type worker struct {
 func main() {
 	var (
 		shards    = flag.Int("shards", 4, "shard count (power of two)")
+		stripes   = flag.Int("stripes", 1, "lock stripes per shard (power of two)")
 		workers   = flag.Int("workers", 4, "concurrent worker goroutines")
 		duration  = flag.Duration("duration", 5*time.Second, "wall-clock run length")
 		seed      = flag.Uint64("seed", 1, "workload seed (address streams; throughput still varies run to run)")
 		lines     = flag.Int("lines", 4096, "total cache lines (power of two)")
 		ways      = flag.Int("ways", 16, "associativity (power of two)")
 		parts     = flag.Int("parts", 3, "partition count")
+		batch     = flag.Int("batch", 1, "requests per batched submission (1 = plain Access path)")
+		procsList = flag.String("procs", "", "GOMAXPROCS sweep: comma-separated settings (e.g. 1,2,4,8,16); one row per setting")
 		rebalance = flag.Duration("rebalance", 250*time.Millisecond, "interval between target redistributions")
 		maxOcc    = flag.Float64("maxocc", -1, "fail (exit 1) when the worst occupancy error exceeds this fraction; <0 disables")
 
@@ -114,29 +127,100 @@ func main() {
 		}))
 	}
 
+	if *batch < 1 {
+		fail("need -batch >= 1")
+	}
+	opts := localOpts{
+		shards:    *shards,
+		stripes:   *stripes,
+		workers:   *workers,
+		duration:  *duration,
+		seed:      *seed,
+		lines:     *lines,
+		ways:      *ways,
+		parts:     *parts,
+		batch:     *batch,
+		rebalance: *rebalance,
+	}
+
+	if *procsList != "" {
+		runSweep(opts, parseProcs(*procsList), *maxOcc)
+		return
+	}
+
+	fmt.Printf("fsload: %d lines / %d ways / %d shards × %d stripes, %d workers, %d partitions, batch %d, %v\n",
+		*lines, *ways, *shards, *stripes, *workers, *parts, *batch, *duration)
+
+	r := runLocal(opts)
+
+	fmt.Printf("\n  total: %d accesses in %v (%.2fM acc/s aggregate), %d rebalances\n",
+		r.total, r.elapsed.Round(time.Millisecond), r.accPerSec/1e6, r.rebalances)
+	fmt.Printf("\n  %-8s %12s %10s %10s %10s\n", "worker", "accesses", "p50", "p90", "p99")
+	for _, w := range r.ws {
+		fmt.Printf("  %-8d %12d %10v %10v %10v\n", w.id, w.ops,
+			latQ(w.hist, 0.5), latQ(w.hist, 0.9), latQ(w.hist, 0.99))
+	}
+
+	fmt.Printf("\n  %-10s %8s %10s %10s %8s %10s\n",
+		"partition", "target", "occupancy", "error", "miss", "aef")
+	for p := 0; p < opts.parts; p++ {
+		fmt.Printf("  %-10d %8d %10.1f %9.1f%% %8.4f %10.4f\n",
+			p, r.targets[p], r.occ[p], 100*r.occErr[p], r.snap.Parts[p].MissRate(), r.snap.Parts[p].AEF())
+	}
+	fmt.Printf("\n  worst occupancy error: %.1f%%\n", 100*r.worst)
+	if *maxOcc >= 0 && r.worst > *maxOcc {
+		fail(fmt.Sprintf("worst occupancy error %.1f%% exceeds -maxocc %.1f%%", 100*r.worst, 100**maxOcc))
+	}
+}
+
+// localOpts configures one in-process measurement run.
+type localOpts struct {
+	shards, stripes, workers  int
+	lines, ways, parts, batch int
+	duration, rebalance       time.Duration
+	seed                      uint64
+}
+
+// localResult is everything the reports need from one run.
+type localResult struct {
+	elapsed    time.Duration
+	total      uint64
+	accPerSec  float64
+	rebalances uint64
+	ws         []*worker
+	targets    []int
+	occ        []float64
+	occErr     []float64
+	worst      float64
+	snap       core.Snapshot
+}
+
+// runLocal builds a fresh engine, hammers it with opts.workers goroutines
+// for opts.duration while a background rebalancer redistributes targets,
+// checks invariants after quiesce and returns the aggregates. Each call is
+// independent, so sweep rows never share warmed state.
+func runLocal(opts localOpts) localResult {
 	e := shardcache.New(shardcache.Config{
-		Lines:   *lines,
-		Ways:    *ways,
-		Shards:  *shards,
-		Parts:   *parts,
+		Lines:   opts.lines,
+		Ways:    opts.ways,
+		Shards:  opts.shards,
+		Stripes: opts.stripes,
+		Parts:   opts.parts,
 		Ranking: futility.CoarseLRU,
-		Seed:    *seed,
+		Seed:    opts.seed,
 	})
 	// Targets proportional to partition index+1, summing exactly to capacity,
 	// so the occupancy-error report has distinct per-partition setpoints.
-	weights := make([]float64, *parts)
+	weights := make([]float64, opts.parts)
 	for p := range weights {
 		weights[p] = float64(p + 1)
 	}
-	targets := apportionInts(*lines, weights)
+	targets := apportionInts(opts.lines, weights)
 	e.SetTargets(targets)
-
-	fmt.Printf("fsload: %d lines / %d ways / %d shards, %d workers, %d partitions, %v\n",
-		*lines, *ways, *shards, *workers, *parts, *duration)
 
 	var stop atomic.Bool
 	var wg sync.WaitGroup
-	ws := make([]*worker, *workers)
+	ws := make([]*worker, opts.workers)
 	for i := range ws {
 		ws[i] = &worker{id: i, hist: stats.NewHistogram(latBuckets)}
 	}
@@ -145,13 +229,38 @@ func main() {
 		wg.Add(1)
 		go func(w *worker) {
 			defer wg.Done()
-			rng := xrand.New(xrand.Mix64(*seed^0xf10ad) ^ xrand.Mix64(uint64(w.id+1)))
-			zipf := xrand.NewZipf(rng, 0.9, 4**lines)
-			for !stop.Load() {
-				part := rng.Intn(*parts)
+			rng := xrand.New(xrand.Mix64(opts.seed^0xf10ad) ^ xrand.Mix64(uint64(w.id+1)))
+			zipf := xrand.NewZipf(rng, 0.9, 4*opts.lines)
+			next := func() (uint64, int) {
+				part := rng.Intn(opts.parts)
 				// Mix64-finalized structured keys; see shardcache.BuildSchedule
 				// on H3 null spaces for why raw low-entropy keys are unsafe.
-				addr := xrand.Mix64(uint64(part+1)<<24 + uint64(zipf.Next()))
+				return xrand.Mix64(uint64(part+1)<<24 + uint64(zipf.Next())), part
+			}
+			if opts.batch > 1 {
+				b := e.NewBatch()
+				reqs := make([]shardcache.Access, opts.batch)
+				results := make([]core.AccessResult, opts.batch)
+				for !stop.Load() {
+					for i := range reqs {
+						reqs[i].Addr, reqs[i].Part = next()
+					}
+					t0 := time.Now()
+					b.Access(reqs, results)
+					// Amortized per-access latency: the whole flush divided
+					// by its size, recorded once per request for comparable
+					// quantiles against the unbatched path.
+					lat := time.Since(t0) / time.Duration(opts.batch)
+					s := float64(lat) / float64(latCap)
+					for range reqs {
+						w.hist.Add(s)
+					}
+					w.ops += uint64(opts.batch)
+				}
+				return
+			}
+			for !stop.Load() {
+				addr, part := next()
 				t0 := time.Now()
 				e.Access(addr, part)
 				lat := time.Since(t0)
@@ -160,61 +269,92 @@ func main() {
 			}
 		}(w)
 	}
-	var rebalances int
-	done := make(chan struct{})
-	go func() {
-		defer close(done)
-		tick := time.NewTicker(*rebalance)
-		defer tick.Stop()
-		for !stop.Load() {
-			<-tick.C
-			e.Rebalance()
-			rebalances++
-		}
-	}()
+	rb := e.StartRebalancer(opts.rebalance)
 
-	time.Sleep(*duration)
+	time.Sleep(opts.duration)
 	stop.Store(true)
 	wg.Wait()
-	<-done
+	rb.Stop()
 	elapsed := time.Since(start)
 
 	if err := e.CheckInvariants(); err != nil {
 		fail(fmt.Sprintf("engine invariants violated after run: %v", err))
 	}
 
-	var total uint64
-	for _, w := range ws {
-		total += w.ops
+	r := localResult{
+		elapsed:    elapsed,
+		rebalances: rb.Rebalances(),
+		ws:         ws,
+		targets:    targets,
+		occ:        make([]float64, opts.parts),
+		occErr:     make([]float64, opts.parts),
+		snap:       e.Snapshot(),
 	}
-	fmt.Printf("\n  total: %d accesses in %v (%.2fM acc/s aggregate), %d rebalances\n",
-		total, elapsed.Round(time.Millisecond), float64(total)/elapsed.Seconds()/1e6, rebalances)
-	fmt.Printf("\n  %-8s %12s %10s %10s %10s\n", "worker", "accesses", "p50", "p90", "p99")
 	for _, w := range ws {
-		fmt.Printf("  %-8d %12d %10v %10v %10v\n", w.id, w.ops,
-			latQ(w.hist, 0.5), latQ(w.hist, 0.9), latQ(w.hist, 0.99))
+		r.total += w.ops
 	}
-
-	snap := e.Snapshot()
-	fmt.Printf("\n  %-10s %8s %10s %10s %8s %10s\n",
-		"partition", "target", "occupancy", "error", "miss", "aef")
-	worst := 0.0
-	for p := 0; p < *parts; p++ {
-		occ := e.MeanOccupancy(p)
-		errFrac := math.Abs(occ-float64(targets[p])) / float64(targets[p])
-		if errFrac > worst {
-			worst = errFrac
+	r.accPerSec = float64(r.total) / elapsed.Seconds()
+	for p := 0; p < opts.parts; p++ {
+		r.occ[p] = e.MeanOccupancy(p)
+		r.occErr[p] = math.Abs(r.occ[p]-float64(targets[p])) / float64(targets[p])
+		if r.occErr[p] > r.worst {
+			r.worst = r.occErr[p]
 		}
-		fmt.Printf("  %-10d %8d %10.1f %9.1f%% %8.4f %10.4f\n",
-			p, targets[p], occ, 100*errFrac, snap.Parts[p].MissRate(), snap.Parts[p].AEF())
 	}
-	fmt.Printf("\n  worst occupancy error: %.1f%%\n", 100*worst)
-	if snap.Accesses != total {
-		fail(fmt.Sprintf("accounting: engine recorded %d accesses, workers performed %d", snap.Accesses, total))
+	if r.snap.Accesses != r.total {
+		fail(fmt.Sprintf("accounting: engine recorded %d accesses, workers performed %d", r.snap.Accesses, r.total))
 	}
-	if *maxOcc >= 0 && worst > *maxOcc {
-		fail(fmt.Sprintf("worst occupancy error %.1f%% exceeds -maxocc %.1f%%", 100*worst, 100**maxOcc))
+	return r
+}
+
+// runSweep runs one fresh engine per GOMAXPROCS setting and prints one
+// throughput/latency row per setting, plus the speedup relative to the
+// first setting — the whole scaling curve in one invocation.
+func runSweep(opts localOpts, procs []int, maxOcc float64) {
+	prev := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(prev)
+
+	fmt.Printf("fsload sweep: %d lines / %d ways / %d shards × %d stripes, %d workers, %d partitions, batch %d, %v per setting (num_cpu %d)\n\n",
+		opts.lines, opts.ways, opts.shards, opts.stripes, opts.workers, opts.parts, opts.batch, opts.duration, runtime.NumCPU())
+	fmt.Printf("  %-6s %12s %10s %10s %10s %10s %8s %8s\n",
+		"procs", "accesses", "acc/s", "p50", "p90", "p99", "occ-err", "speedup")
+
+	base := 0.0
+	worstOcc := 0.0
+	for i, p := range procs {
+		runtime.GOMAXPROCS(p)
+		r := runLocal(opts)
+		merged := stats.NewHistogram(latBuckets)
+		for _, w := range r.ws {
+			merged.Merge(w.hist)
+		}
+		if i == 0 {
+			base = r.accPerSec
+		}
+		if r.worst > worstOcc {
+			worstOcc = r.worst
+		}
+		fmt.Printf("  %-6d %12d %9.2fM %10v %10v %10v %7.1f%% %7.2fx\n",
+			p, r.total, r.accPerSec/1e6,
+			latQ(merged, 0.5), latQ(merged, 0.9), latQ(merged, 0.99),
+			100*r.worst, r.accPerSec/base)
 	}
+	if maxOcc >= 0 && worstOcc > maxOcc {
+		fail(fmt.Sprintf("worst occupancy error %.1f%% exceeds -maxocc %.1f%%", 100*worstOcc, 100*maxOcc))
+	}
+}
+
+// parseProcs parses the -procs comma list.
+func parseProcs(s string) []int {
+	var out []int
+	for _, f := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || n < 1 {
+			fail(fmt.Sprintf("bad -procs entry %q (need positive integers)", f))
+		}
+		out = append(out, n)
+	}
+	return out
 }
 
 // latQ converts a histogram quantile (a fraction of latCap) back to a

@@ -50,6 +50,7 @@ func main() {
 		lines     = flag.Int("lines", 4096, "total cache lines (power of two)")
 		ways      = flag.Int("ways", 16, "associativity (power of two)")
 		shards    = flag.Int("shards", 4, "engine shard count (power of two)")
+		stripes   = flag.Int("stripes", 4, "lock stripes per shard (power of two)")
 		seed      = flag.Uint64("seed", 1, "engine seed (hash functions, replacement sampling)")
 		rebalance = flag.Duration("rebalance", 250*time.Millisecond, "target-redistribution cadence (0 disables)")
 		soft      = flag.Int("soft", 256, "soft in-flight watermark (shed/degrade threshold)")
@@ -82,6 +83,7 @@ func main() {
 			Lines:   *lines,
 			Ways:    *ways,
 			Shards:  *shards,
+			Stripes: *stripes,
 			Parts:   len(tcs),
 			Ranking: futility.CoarseLRU,
 			Seed:    *seed,

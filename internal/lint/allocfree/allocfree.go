@@ -460,6 +460,8 @@ func (s *scanner) checkCall(call *ast.CallExpr) bool {
 			s.callees = append(s.callees, callee.Node)
 		case callee.Fn != nil && callee.Fn.Pkg() != nil && safeExternal[callee.Fn.Pkg().Path()]:
 			// Pure arithmetic package: never allocates.
+		case safeExternalFuncs[callee.Name]:
+			// Individually trusted runtime-backed primitive.
 		default:
 			s.reportf(call.Pos(), false, "call to %s cannot be verified as allocation-free (outside the loaded packages)", analysis.ShortName(callee.Name))
 		}
@@ -491,6 +493,22 @@ func (s *scanner) checkCall(call *ast.CallExpr) bool {
 var safeExternal = map[string]bool{
 	"math":      true,
 	"math/bits": true,
+}
+
+// safeExternalFuncs lists individual functions outside the module that are
+// trusted not to allocate, keyed by types.Func full name. The sync mutex
+// operations spin or park through runtime semaphores but never touch the
+// heap, and the striped engine's //fs:allocfree access paths necessarily
+// cross them — a whole-package trust of sync would be too broad (sync.Map,
+// sync.Pool and friends do allocate).
+var safeExternalFuncs = map[string]bool{
+	"(*sync.Mutex).Lock":      true,
+	"(*sync.Mutex).Unlock":    true,
+	"(*sync.Mutex).TryLock":   true,
+	"(*sync.RWMutex).Lock":    true,
+	"(*sync.RWMutex).Unlock":  true,
+	"(*sync.RWMutex).RLock":   true,
+	"(*sync.RWMutex).RUnlock": true,
 }
 
 func tvType(info *types.Info, e ast.Expr) types.Type {

@@ -3,6 +3,7 @@ package a
 import (
 	"math"
 	"strings"
+	"sync"
 )
 
 type node struct{ v int }
@@ -30,6 +31,15 @@ func Ext(s string, f func()) float64 {
 	_ = strings.ToUpper(s)            // want `call to strings\.ToUpper cannot be verified as allocation-free`
 	f()                               // want `call through func value f cannot be verified as allocation-free`
 	return math.Sqrt(float64(len(s))) // ok: math is a trusted pure package
+}
+
+//fs:allocfree
+func Locked(mu *sync.Mutex, rw *sync.RWMutex, wg *sync.WaitGroup) {
+	mu.Lock() // ok: mutex lock ops are individually trusted
+	mu.Unlock()
+	rw.RLock()
+	rw.RUnlock()
+	wg.Wait() // want `call to \(\*sync\.WaitGroup\)\.Wait cannot be verified as allocation-free`
 }
 
 //fs:allocfree

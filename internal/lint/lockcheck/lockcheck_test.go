@@ -10,3 +10,10 @@ import (
 func TestLockDiscipline(t *testing.T) {
 	analysistest.Run(t, "testdata", lockcheck.New(), "lock")
 }
+
+// TestThreeLevelOrder covers the striped engine's rmu → tmu → stripe.mu
+// discipline: the snapshot-then-apply pattern, the legal tmu-across-stripes
+// hold, and all three inversions.
+func TestThreeLevelOrder(t *testing.T) {
+	analysistest.Run(t, "testdata", lockcheck.New(), "order")
+}

@@ -44,6 +44,20 @@ type Benchmark struct {
 	// Macro marks whole-experiment benchmarks (skipped by fsbench -quick
 	// unless -macro is set).
 	Macro bool
+	// Parallel marks b.RunParallel bodies whose throughput depends on
+	// GOMAXPROCS: fsbench sweeps them across -procs settings and records one
+	// result row per setting.
+	Parallel bool
+	// MinScale gates scaling efficiency for Parallel benchmarks: within one
+	// fsbench sweep, throughput at the highest -procs setting P must be at
+	// least MinScale × min(P, NumCPU) × the 1-proc throughput. Zero disables
+	// the gate. 0.375 at P=8 on an 8-core box is the ≥3× acceptance bar;
+	// min(P, NumCPU) keeps the bound honest on smaller machines.
+	MinScale float64
+	// Tol is the fractional ns/op regression band fsbench -compare allows
+	// against a baseline captured on a matching environment. Zero means the
+	// default band.
+	Tol float64
 	// Fn is the benchmark body.
 	Fn func(b *testing.B)
 }
@@ -79,6 +93,19 @@ func Registry() []Benchmark {
 			PerAccess: true, Fn: ShardedThroughput1},
 		{Name: "shardcache/throughput-4shard-4workers", Doc: "concurrent Engine.Access, 4 workers across 4 shards",
 			PerAccess: true, Fn: ShardedThroughput4},
+		// The parallel rows carry wider ns/op bands than the serial ones:
+		// their per-op time depends on how the scheduler interleaves the
+		// competing goroutines (the storm row most of all, racing a
+		// back-to-back rebalance loop), so the tight ratchets for them are
+		// the scaling-efficiency band and the allocation count, not ns/op.
+		{Name: "shardcache/parallel-get-heavy", Doc: "striped Engine.Access scaling, resident working set (~all hits)",
+			PerAccess: true, Parallel: true, MinScale: 0.375, Tol: 0.50, Fn: ParallelGetHeavy},
+		{Name: "shardcache/parallel-mixed", Doc: "striped Engine.Access scaling, Zipf hit/miss mix",
+			PerAccess: true, Parallel: true, MinScale: 0.30, Tol: 0.60, Fn: ParallelMixed},
+		{Name: "shardcache/parallel-storm", Doc: "striped Engine.Access scaling under a back-to-back Rebalance storm",
+			PerAccess: true, Parallel: true, MinScale: 0.25, Tol: 1.0, Fn: ParallelStorm},
+		{Name: "shardcache/batch-access", Doc: "Batch.Access per request, 64-request flushes on a warm striped engine",
+			PerAccess: true, ZeroAlloc: true, Fn: BatchAccess},
 		{Name: "server/frame-codec", Doc: "wire frame encode + read + parse round trip",
 			ZeroAlloc: true, Fn: server.BenchFrameCodec},
 		{Name: "server/admission-decide", Doc: "degradation-ladder walk, calm regime (per-request admission overhead)",

@@ -1,0 +1,183 @@
+package server
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+// pipelineConfig enables striping so the batched path crosses stripe
+// boundaries, and keeps the rebalance cadence on so batched accesses race
+// the background distributor.
+func pipelineConfig() Config {
+	cfg := testConfig()
+	cfg.Cache.Stripes = 4
+	cfg.Cache.Lines = 1024
+	cfg.Rebalance = 5 * time.Millisecond
+	return cfg
+}
+
+// TestPipelinedGets drives the batched GET path end to end: a client
+// writes a burst of GET frames in one TCP write, so the server's reader
+// finds the whole run buffered and submits it as one shardcache.Batch.
+// Every response must come back in request order with the right bytes.
+func TestPipelinedGets(t *testing.T) {
+	s := startServer(t, pipelineConfig())
+	c := dialTest(t, s)
+
+	const n = 100
+	for i := 0; i < n; i++ {
+		key := []byte(fmt.Sprintf("key-%03d", i))
+		if r := c.mustRPC(Request{Op: OpSet, Tenant: uint8(i % 2), Key: key, Value: []byte(fmt.Sprintf("val-%03d", i))}); r.Status != StatusOK {
+			t.Fatalf("set %d: %v", i, r.Status)
+		}
+	}
+
+	// One write, n pipelined GETs. n > batchMax, so the server must chop
+	// the burst into several runs and still answer strictly in order.
+	var burst []byte
+	for i := 0; i < n; i++ {
+		c.seq++
+		burst = AppendRequest(burst, &Request{
+			Op:     OpGet,
+			Tenant: uint8(i % 2),
+			Seq:    c.seq,
+			Key:    []byte(fmt.Sprintf("key-%03d", i)),
+		})
+	}
+	_ = c.nc.SetDeadline(time.Now().Add(5 * time.Second))
+	if _, err := c.nc.Write(burst); err != nil {
+		t.Fatalf("write burst: %v", err)
+	}
+	firstSeq := c.seq - n + 1
+	for i := 0; i < n; i++ {
+		var err error
+		c.buf, err = ReadFrame(c.br, c.buf)
+		if err != nil {
+			t.Fatalf("read response %d: %v", i, err)
+		}
+		resp, err := ParseResponse(c.buf)
+		if err != nil {
+			t.Fatalf("parse response %d: %v", i, err)
+		}
+		if want := firstSeq + uint32(i); resp.Seq != want {
+			t.Fatalf("response %d out of order: seq %d, want %d", i, resp.Seq, want)
+		}
+		if resp.Status != StatusOK && resp.Status != StatusNotFound {
+			t.Fatalf("response %d: status %v", i, resp.Status)
+		}
+		if resp.Status == StatusOK {
+			if want := fmt.Sprintf("val-%03d", i); string(resp.Value) != want {
+				t.Fatalf("response %d: value %q, want %q", i, resp.Value, want)
+			}
+		}
+	}
+
+	// The connection is still healthy for sequential traffic afterwards.
+	if r := c.mustRPC(Request{Op: OpPing}); r.Status != StatusOK {
+		t.Fatalf("ping after burst: %v", r.Status)
+	}
+}
+
+// TestPipelinedMixedRun pins run termination: a burst of GETs with a SET
+// in the middle must answer everything in order with the SET applied at
+// its position — the batch collector stops at the first non-GET frame and
+// the sequential path handles it.
+func TestPipelinedMixedRun(t *testing.T) {
+	s := startServer(t, pipelineConfig())
+	c := dialTest(t, s)
+
+	if r := c.mustRPC(Request{Op: OpSet, Tenant: 0, Key: []byte("a"), Value: []byte("old")}); r.Status != StatusOK {
+		t.Fatalf("seed set: %v", r.Status)
+	}
+
+	// get a (old) · get a (old) · set a=new · get a (new) · get a (new)
+	var burst []byte
+	type step struct {
+		op  Op
+		val string
+	}
+	steps := []step{{OpGet, ""}, {OpGet, ""}, {OpSet, "new"}, {OpGet, ""}, {OpGet, ""}}
+	first := c.seq + 1
+	for _, st := range steps {
+		c.seq++
+		req := Request{Op: st.op, Tenant: 0, Seq: c.seq, Key: []byte("a")}
+		if st.op == OpSet {
+			req.Value = []byte(st.val)
+		}
+		burst = AppendRequest(burst, &req)
+	}
+	_ = c.nc.SetDeadline(time.Now().Add(5 * time.Second))
+	if _, err := c.nc.Write(burst); err != nil {
+		t.Fatalf("write burst: %v", err)
+	}
+	want := []string{"old", "old", "", "new", "new"}
+	for i := range steps {
+		var err error
+		c.buf, err = ReadFrame(c.br, c.buf)
+		if err != nil {
+			t.Fatalf("read response %d: %v", i, err)
+		}
+		resp, err := ParseResponse(c.buf)
+		if err != nil {
+			t.Fatalf("parse response %d: %v", i, err)
+		}
+		if wantSeq := first + uint32(i); resp.Seq != wantSeq {
+			t.Fatalf("response %d out of order: seq %d, want %d", i, resp.Seq, wantSeq)
+		}
+		if resp.Status != StatusOK {
+			t.Fatalf("response %d: status %v", i, resp.Status)
+		}
+		if steps[i].op == OpGet && string(resp.Value) != want[i] {
+			t.Fatalf("response %d: value %q, want %q", i, resp.Value, want[i])
+		}
+	}
+}
+
+// TestPipelinedBadFrameInRun pins in-order error reporting: a malformed
+// payload in the middle of a GET run must produce a StatusBadRequest at its
+// position without dropping the connection or disturbing its neighbours.
+func TestPipelinedBadFrameInRun(t *testing.T) {
+	s := startServer(t, pipelineConfig())
+	c := dialTest(t, s)
+
+	if r := c.mustRPC(Request{Op: OpSet, Tenant: 0, Key: []byte("k"), Value: []byte("v")}); r.Status != StatusOK {
+		t.Fatalf("seed set: %v", r.Status)
+	}
+
+	var burst []byte
+	c.seq++
+	burst = AppendRequest(burst, &Request{Op: OpGet, Tenant: 0, Seq: c.seq, Key: []byte("k")})
+	// A framed GET whose payload header lies about the key length: the
+	// frame boundary is intact, the payload is not.
+	c.seq++
+	bad := AppendRequest(nil, &Request{Op: OpGet, Tenant: 0, Seq: c.seq, Key: []byte("k")})
+	bad[4+12] = 0xff // keyLen low byte: points past the payload
+	bad[4+13] = 0xff
+	burst = append(burst, bad...)
+	c.seq++
+	burst = AppendRequest(burst, &Request{Op: OpGet, Tenant: 0, Seq: c.seq, Key: []byte("k")})
+
+	_ = c.nc.SetDeadline(time.Now().Add(5 * time.Second))
+	if _, err := c.nc.Write(burst); err != nil {
+		t.Fatalf("write burst: %v", err)
+	}
+	wantStatus := []Status{StatusOK, StatusBadRequest, StatusOK}
+	for i, want := range wantStatus {
+		var err error
+		c.buf, err = ReadFrame(c.br, c.buf)
+		if err != nil {
+			t.Fatalf("read response %d: %v", i, err)
+		}
+		resp, err := ParseResponse(c.buf)
+		if err != nil {
+			t.Fatalf("parse response %d: %v", i, err)
+		}
+		if resp.Status != want {
+			t.Fatalf("response %d: status %v, want %v", i, resp.Status, want)
+		}
+	}
+	if r := c.mustRPC(Request{Op: OpPing}); r.Status != StatusOK {
+		t.Fatalf("conn should survive a bad pipelined frame: %v", r.Status)
+	}
+}

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"bufio"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -111,8 +112,11 @@ type Server struct {
 	draining atomic.Bool
 
 	connWG sync.WaitGroup // one per live connection
-	loopWG sync.WaitGroup // accept loop + rebalancer
+	loopWG sync.WaitGroup // accept loop
 	stopCh chan struct{}
+	// rb is the engine's background target distributor (nil when the
+	// cadence is disabled); stats read its pass counter.
+	rb *shardcache.Rebalancer
 
 	mu sync.Mutex
 	//fs:guardedby mu
@@ -128,7 +132,6 @@ type Server struct {
 	badFrames   atomic.Uint64
 	slowClients atomic.Uint64
 	forcedConns atomic.Uint64
-	rebalances  atomic.Uint64
 }
 
 // conn is one client connection: a reader goroutine that parses frames and
@@ -138,6 +141,11 @@ type Server struct {
 type conn struct {
 	srv *Server
 	nc  net.Conn
+	// br buffers nc for the reader; buffered bytes are what make pipelined
+	// GET runs visible (see batch.go). Reader-goroutine-owned, like gb.
+	br *bufio.Reader
+	// gb is the pipelined-GET batching scratch, allocated on first use.
+	gb *getBatch
 
 	writeQ  chan []byte
 	pending atomic.Int64 // responses enqueued but not yet written
@@ -218,8 +226,7 @@ func (s *Server) Serve(ln net.Listener) {
 	s.loopWG.Add(1)
 	go s.acceptLoop()
 	if s.cfg.Rebalance > 0 {
-		s.loopWG.Add(1)
-		go s.rebalanceLoop()
+		s.rb = s.engine.StartRebalancer(s.cfg.Rebalance)
 	}
 	s.logf("server: listening on %s (%d tenants, soft=%d hard=%d)",
 		ln.Addr(), len(s.cfg.Tenants), s.cfg.SoftInflight, s.cfg.HardInflight)
@@ -235,6 +242,15 @@ func (s *Server) Addr() net.Addr {
 
 // Engine exposes the backing engine (stats paths and tests).
 func (s *Server) Engine() *shardcache.Engine { return s.engine }
+
+// rebalanceCount reads the background distributor's pass counter (0 when
+// the cadence is disabled).
+func (s *Server) rebalanceCount() uint64 {
+	if s.rb == nil {
+		return 0
+	}
+	return s.rb.Rebalances()
+}
 
 func (s *Server) logf(format string, args ...interface{}) {
 	if s.cfg.Logf != nil {
@@ -260,6 +276,7 @@ func (s *Server) acceptLoop() {
 		c := &conn{
 			srv:    s,
 			nc:     nc,
+			br:     bufio.NewReaderSize(nc, 1<<14),
 			writeQ: make(chan []byte, s.cfg.WriteQueue),
 			hist:   stats.NewHistogram(latBuckets),
 		}
@@ -269,21 +286,6 @@ func (s *Server) acceptLoop() {
 		s.connWG.Add(2)
 		go c.readLoop()
 		go c.writeLoop()
-	}
-}
-
-func (s *Server) rebalanceLoop() {
-	defer s.loopWG.Done()
-	t := time.NewTicker(s.cfg.Rebalance)
-	defer t.Stop()
-	for {
-		select {
-		case <-s.stopCh:
-			return
-		case <-t.C:
-			s.engine.Rebalance()
-			s.rebalances.Add(1)
-		}
 	}
 }
 
@@ -327,7 +329,7 @@ func (c *conn) readLoop() {
 		}
 		_ = c.nc.SetReadDeadline(time.Now().Add(c.srv.cfg.ReadTimeout))
 		var err error
-		frame, err = ReadFrame(c.nc, frame)
+		frame, err = ReadFrame(c.br, frame)
 		if err != nil {
 			// Only framing damage counts as a bad frame; clean EOFs,
 			// closed sockets and read-deadline expiries (idle clients,
@@ -352,6 +354,14 @@ func (c *conn) readLoop() {
 		if c.srv.draining.Load() {
 			_ = c.send(&Response{Status: StatusDraining, Tenant: req.Tenant, Seq: req.Seq}, &respBuf)
 			return
+		}
+		if req.Op == OpGet {
+			// GETs take the batched path: this request plus any pipelined
+			// GET frames already buffered become one engine submission.
+			if !c.handleGetRun(&req, &respBuf) {
+				return
+			}
+			continue
 		}
 		resp, ok := c.handle(&req)
 		if !c.send(&resp, &respBuf) {
@@ -553,6 +563,9 @@ func (s *Server) Shutdown(timeout time.Duration) error {
 	s.logf("server: draining (timeout %v)", timeout)
 	_ = s.ln.Close()
 	close(s.stopCh)
+	if s.rb != nil {
+		s.rb.Stop()
+	}
 
 	// Readers blocked waiting for a frame wake immediately instead of
 	// waiting out ReadTimeout: expire their read deadlines. Readers
@@ -667,7 +680,7 @@ func (s *Server) Stats() StatsSnapshot {
 		BadFrames:    s.badFrames.Load(),
 		SlowClients:  s.slowClients.Load(),
 		ForcedConns:  s.forcedConns.Load(),
-		Rebalances:   s.rebalances.Load(),
+		Rebalances:   s.rebalanceCount(),
 		Draining:     s.draining.Load(),
 		StoreEntries: entries,
 		StoreBytes:   bytes,

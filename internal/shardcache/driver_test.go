@@ -15,8 +15,22 @@ import (
 // measurement state — merged and per shard — as rendered by the canonical
 // core.Snapshot.String layout.
 func TestDeterministicByteIdentical(t *testing.T) {
+	testDeterministicByteIdentical(t, testConfig(4))
+}
+
+// TestStripedDeterministicByteIdentical repeats the determinism acceptance
+// test with lock striping on: the shard-ownership protocol still hands each
+// worker whole shards, so owning a shard means owning all of its stripes
+// and the byte-identical guarantee must survive the finer locking.
+func TestStripedDeterministicByteIdentical(t *testing.T) {
+	cfg := testConfig(4)
+	cfg.Stripes = 4
+	testDeterministicByteIdentical(t, cfg)
+}
+
+func testDeterministicByteIdentical(t *testing.T, cfg Config) {
+	t.Helper()
 	run := func() (string, []string) {
-		cfg := testConfig(4)
 		e := New(cfg)
 		e.SetTargets(testTargets())
 		rounds, perRound := 4, 2048

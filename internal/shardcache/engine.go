@@ -1,32 +1,44 @@
 // Package shardcache is the concurrent layer over the single-threaded
-// simulator: it splits one logical Futility-Scaling cache into S independent
-// core.Cache shards, each guarded by its own mutex and owning its own
-// ranker and feedback-controller state, so multiple goroutines can drive
-// the cache at once while every invariant the sequential simulator enforces
-// keeps holding per shard.
+// simulator: it splits one logical Futility-Scaling cache into independently
+// locked domains, each owning its own core.Cache, ranker and
+// feedback-controller state, so multiple goroutines can drive the cache at
+// once while every invariant the sequential simulator enforces keeps holding
+// per domain.
 //
-// Sharding follows the hardware idiom: the engine hashes an address with one
-// H3 function over the *global* set index space and takes the top
-// log2(S)-bit slice as the shard index (hashing.ShardOf), so each shard is a
-// contiguous run of sets — a smaller set-associative array with the same
-// associativity. Within a shard, placement is the shard array's own H3
-// index over its local sets.
+// The decomposition has two levels. The cache is first split into S *shards*
+// — the unit of the deterministic driving protocol (driver.go) and of the
+// global target distributor's demand accounting. Each shard is then split
+// into K lock *stripes* over contiguous sub-ranges of the shard's sets, each
+// stripe a smaller set-associative array with the same associativity behind
+// its own mutex. Striping follows the hardware idiom: the engine hashes an
+// address with one H3 function over the *global* set index space and takes
+// the top log2(S·K)-bit slice as the stripe index (hashing.ShardOf over S·K
+// buckets), so the top log2(S) bits select the shard and the next log2(K)
+// bits the stripe within it. An access therefore contends only with accesses
+// to the same 1/(S·K) slice of the sets, not the whole shard.
 //
 // Partition targets stay a cache-wide contract: SetTargets installs global
 // per-partition line targets, and Rebalance — the global target distributor
-// — periodically snapshots every shard's occupancy and access demand
-// through core.Cache.StatsSnapshot and re-apportions each partition's
-// global target across shards proportional to observed per-shard demand.
-// Under skewed shard load this converges cache-wide partition sizes to the
-// paper's targets even though each shard's feedback controller only ever
-// sees its local slice.
+// — periodically collects every stripe's occupancy and access demand and
+// re-apportions each partition's global target across stripes proportional
+// to observed per-stripe demand. Under skewed load this converges cache-wide
+// partition sizes to the paper's targets even though each stripe's feedback
+// controller only ever sees its local slice.
 //
-// Concurrency contract: Access, SetTargets, Rebalance, Snapshot,
-// ShardSnapshots and CheckInvariants are all safe for concurrent use. A
-// shard mutex is only ever held for one bounded cache operation; the
-// engine never holds two shard locks at once, so there is no lock-order
-// hazard. Determinism under concurrency is a protocol property, not an
-// engine property — see driver.go.
+// The distributor is built so redistribution never blocks the access path
+// for more than one bounded counter swap or target install per stripe:
+// demand is counted into per-stripe double-buffered counters, Rebalance
+// swaps the buffers under the stripe lock (a slice-header exchange), and all
+// aggregation, weighting and apportionment run outside every stripe lock on
+// the rebalancer's private buffer. Rebalancer (rebalancer.go) runs this on a
+// background ticker so serving layers never call it from a request path.
+//
+// Concurrency contract: Access, AccessBatch (batch.go), SetTargets,
+// Rebalance, Snapshot, ShardSnapshots and CheckInvariants are all safe for
+// concurrent use. A stripe mutex is only ever held for one bounded cache
+// operation (or one batched run of them); the engine never holds two stripe
+// locks at once. Determinism under concurrency is a protocol property, not
+// an engine property — see driver.go.
 package shardcache
 
 import (
@@ -45,16 +57,20 @@ import (
 type Config struct {
 	// Lines is the total line count across all shards (power of two).
 	Lines int
-	// Ways is the associativity of every shard (power of two).
+	// Ways is the associativity of every stripe (power of two).
 	Ways int
 	// Shards is the shard count (power of two, at most Lines/Ways sets).
 	Shards int
+	// Stripes is the lock-stripe count per shard (power of two; 0 or 1
+	// means one lock per shard, the pre-striping layout). Shards×Stripes
+	// must not exceed the set count.
+	Stripes int
 	// Parts is the number of partitions; targets are cache-wide.
 	Parts int
-	// Ranking selects the futility ranker each shard runs (the reference
+	// Ranking selects the futility ranker each stripe runs (the reference
 	// ranker for AEF measurement is derived via futility.Reference).
 	Ranking futility.Kind
-	// Feedback parameterizes each shard's FS feedback controller.
+	// Feedback parameterizes each stripe's FS feedback controller.
 	Feedback core.FSFeedbackConfig
 	// Seed roots all hash functions and rankers; equal seeds build
 	// byte-identical engines.
@@ -64,35 +80,73 @@ type Config struct {
 	HistBuckets int
 }
 
-// shard is one independently locked domain: a single-threaded core.Cache
-// plus the demand counters the global distributor reads.
-type shard struct {
+// stripe is one independently locked domain: a single-threaded core.Cache
+// over a contiguous sub-range of one shard's sets, plus the active demand
+// buffer the global distributor swaps out.
+type stripe struct {
 	mu sync.Mutex
 	//fs:guardedby mu
 	cache *core.Cache
-	// demand counts accesses routed to this shard per partition since the
-	// last Rebalance; it is the distributor's load signal.
+	// demand counts insertions routed to this stripe per partition since
+	// the distributor's last buffer swap; it is the distributor's load
+	// signal. Rebalance exchanges it with a zeroed spare buffer (Engine.spare)
+	// under mu, so the counters are read and aggregated outside the lock.
 	//fs:guardedby mu
 	demand []uint64
 }
 
-// Engine is the concurrent sharded cache. The tmu-then-shard-mu
-// acquisition order below is the engine's only nested locking; fslint's
-// lockcheck analyzer enforces both the guard discipline and the order.
+// Engine is the concurrent sharded cache.
 //
-//fs:lockorder Engine.tmu shard.mu
+// Lock order: rmu (the distributor pass) before tmu (the target vector)
+// before any stripe.mu. The access path takes only a single stripe.mu;
+// rmu and tmu are never held across more than one bounded operation on any
+// stripe, and tmu is never held while a stripe lock is acquired (Rebalance
+// copies the target vector under tmu, releases it, and only then walks the
+// stripes). fslint's lockcheck analyzer enforces both the guard discipline
+// and the declared order.
+//
+//fs:lockorder Engine.rmu Engine.tmu
+//fs:lockorder Engine.rmu stripe.mu
+//fs:lockorder Engine.tmu stripe.mu
 type Engine struct {
-	cfg    Config
-	sets   int // global set count = Lines/Ways
-	router *hashing.H3
-	shards []*shard
+	cfg      Config
+	sets     int // global set count = Lines/Ways
+	perShard int // stripes per shard (cfg.Stripes normalized, ≥1)
+	router   *hashing.H3
+	stripes  []*stripe // flat, global stripe index g = shard*perShard + stripe
 
-	// tmu serializes target distribution (SetTargets and Rebalance) so two
-	// concurrent rebalances cannot interleave their per-shard SetTargets
-	// writes; targets holds the cache-wide per-partition goals.
+	// tmu guards the cache-wide per-partition goals. It is held only to
+	// read or overwrite the vector, never across stripe locks, so target
+	// readers are never serialized behind a distribution pass.
 	tmu sync.Mutex
 	//fs:guardedby tmu
 	targets []int
+
+	// rmu serializes distribution passes (SetTargets and Rebalance) and
+	// guards their preallocated scratch. A pass holds rmu for its whole
+	// duration but only ever takes one stripe lock at a time, for one
+	// bounded operation, so a slow stripe delays the distributor — never
+	// the access path, and never the other stripes' accessors.
+	rmu sync.Mutex
+	// spare[g] is the zeroed demand buffer Rebalance swaps into stripe g;
+	// after the swap it holds the interval's counters and is read and
+	// re-zeroed outside the stripe lock.
+	//fs:guardedby rmu
+	spare [][]uint64
+	// sizeScratch[g] receives stripe g's current per-partition sizes,
+	// copied under the stripe lock at swap time.
+	//fs:guardedby rmu
+	sizeScratch [][]int
+	//fs:guardedby rmu
+	goalScratch []int // copy of targets taken under tmu
+	//fs:guardedby rmu
+	weightScratch []float64 // per-stripe weights for one partition
+	//fs:guardedby rmu
+	shareScratch []int // apportionment output for one partition
+	//fs:guardedby rmu
+	remScratch []float64 // largest-remainder scratch for one partition
+	//fs:guardedby rmu
+	perStripe [][]int // [stripe][part] target vectors to install
 }
 
 // New builds an engine from cfg. It panics on inconsistent configuration
@@ -101,6 +155,10 @@ func New(cfg Config) *Engine {
 	checkPow2(cfg.Lines, "Lines")
 	checkPow2(cfg.Ways, "Ways")
 	checkPow2(cfg.Shards, "Shards")
+	if cfg.Stripes == 0 {
+		cfg.Stripes = 1
+	}
+	checkPow2(cfg.Stripes, "Stripes")
 	if cfg.Parts <= 0 {
 		panic("shardcache: Parts must be positive")
 	}
@@ -108,28 +166,23 @@ func New(cfg Config) *Engine {
 		panic("shardcache: Ways exceed Lines")
 	}
 	sets := cfg.Lines / cfg.Ways
-	if cfg.Shards > sets {
-		panic("shardcache: more shards than sets")
+	nStripes := cfg.Shards * cfg.Stripes
+	if nStripes > sets {
+		panic("shardcache: more lock stripes than sets")
 	}
-	e := &Engine{
-		cfg:     cfg,
-		sets:    sets,
-		router:  hashing.NewH3(cfg.Seed, sets),
-		shards:  make([]*shard, cfg.Shards),
-		targets: make([]int, cfg.Parts),
-	}
-	perShard := cfg.Lines / cfg.Shards
-	for i := range e.shards {
-		arr := cachearray.NewSetAssoc(perShard, cfg.Ways, cachearray.IndexH3,
-			xrand.Mix64(cfg.Seed^uint64(i+1)))
-		ranker := futility.New(cfg.Ranking, perShard, cfg.Parts,
-			xrand.Mix64(cfg.Seed^0x5a5a0000^uint64(i)))
+	stripes := make([]*stripe, nStripes)
+	perStripeLines := cfg.Lines / nStripes
+	for g := range stripes {
+		arr := cachearray.NewSetAssoc(perStripeLines, cfg.Ways, cachearray.IndexH3,
+			xrand.Mix64(cfg.Seed^uint64(g+1)))
+		ranker := futility.New(cfg.Ranking, perStripeLines, cfg.Parts,
+			xrand.Mix64(cfg.Seed^0x5a5a0000^uint64(g)))
 		var ref futility.Ranker
 		if rk := futility.Reference(cfg.Ranking); rk != cfg.Ranking {
-			ref = futility.New(rk, perShard, cfg.Parts,
-				xrand.Mix64(cfg.Seed^0x0a0a0000^uint64(i)))
+			ref = futility.New(rk, perStripeLines, cfg.Parts,
+				xrand.Mix64(cfg.Seed^0x0a0a0000^uint64(g)))
 		}
-		e.shards[i] = &shard{
+		stripes[g] = &stripe{
 			cache: core.New(core.Config{
 				Array:       arr,
 				Ranker:      ranker,
@@ -141,7 +194,29 @@ func New(cfg Config) *Engine {
 			demand: make([]uint64, cfg.Parts),
 		}
 	}
-	return e
+	spare := make([][]uint64, nStripes)
+	sizeScratch := make([][]int, nStripes)
+	perStripe := make([][]int, nStripes)
+	for g := range spare {
+		spare[g] = make([]uint64, cfg.Parts)
+		sizeScratch[g] = make([]int, cfg.Parts)
+		perStripe[g] = make([]int, cfg.Parts)
+	}
+	return &Engine{
+		cfg:           cfg,
+		sets:          sets,
+		perShard:      cfg.Stripes,
+		router:        hashing.NewH3(cfg.Seed, sets),
+		stripes:       stripes,
+		targets:       make([]int, cfg.Parts),
+		spare:         spare,
+		sizeScratch:   sizeScratch,
+		perStripe:     perStripe,
+		goalScratch:   make([]int, cfg.Parts),
+		weightScratch: make([]float64, nStripes),
+		shareScratch:  make([]int, nStripes),
+		remScratch:    make([]float64, nStripes),
+	}
 }
 
 func checkPow2(n int, what string) {
@@ -151,7 +226,10 @@ func checkPow2(n int, what string) {
 }
 
 // Shards returns the shard count.
-func (e *Engine) Shards() int { return len(e.shards) }
+func (e *Engine) Shards() int { return len(e.stripes) / e.perShard }
+
+// Stripes returns the lock-stripe count per shard.
+func (e *Engine) Stripes() int { return e.perShard }
 
 // Parts returns the partition count.
 func (e *Engine) Parts() int { return e.cfg.Parts }
@@ -160,54 +238,58 @@ func (e *Engine) Parts() int { return e.cfg.Parts }
 func (e *Engine) Lines() int { return e.cfg.Lines }
 
 // ShardOf returns the shard an address routes to: the top bit-slice of its
-// global H3 set index. It is pure and safe to call concurrently.
+// global H3 set index. It is pure and safe to call concurrently. The
+// deterministic driving protocol (driver.go) partitions ownership at shard
+// granularity, so all of a shard's stripes belong to the shard's owner.
 func (e *Engine) ShardOf(addr uint64) int {
-	return int(hashing.ShardOf(e.router.Hash(addr), e.sets, len(e.shards)))
+	return e.stripeOf(addr) / e.perShard
 }
 
-// Access performs one cache access for partition part on the shard the
-// address routes to, holding only that shard's lock.
+// stripeOf returns the global stripe index for an address: the top
+// log2(Shards·Stripes)-bit slice of its H3 set index. Because the slice is
+// a prefix, the top log2(Shards) bits are exactly ShardOf.
+func (e *Engine) stripeOf(addr uint64) int {
+	return int(hashing.ShardOf(e.router.Hash(addr), e.sets, len(e.stripes)))
+}
+
+// Access performs one cache access for partition part on the stripe the
+// address routes to, holding only that stripe's lock.
+//
+//fs:allocfree
 func (e *Engine) Access(addr uint64, part int) core.AccessResult {
-	s := e.shards[e.ShardOf(addr)]
-	s.mu.Lock()
-	res := s.cache.Access(addr, part, trace.NoNextUse)
+	st := e.stripes[e.stripeOf(addr)]
+	st.mu.Lock()
+	res := st.cache.Access(addr, part, trace.NoNextUse)
 	if !res.Hit {
 		// Demand is counted in insertions, not raw accesses: a hit consumes
-		// no line, so a hit-dominated shard needs no extra allocation, while
-		// every miss claims a line in this shard. Weighting the distributor
+		// no line, so a hit-dominated stripe needs no extra allocation, while
+		// every miss claims a line in this stripe. Weighting the distributor
 		// by insertion demand reproduces how lines spread across regions of
 		// a monolithic array (lines sit where they are inserted).
-		s.demand[part]++
+		st.demand[part]++
 	}
-	s.mu.Unlock()
+	st.mu.Unlock()
 	return res
 }
 
 // SetTargets installs cache-wide per-partition line targets and distributes
-// them evenly across shards (Rebalance later re-apportions by demand).
+// them evenly across stripes (Rebalance later re-apportions by demand).
 // len(targets) must equal Parts.
 func (e *Engine) SetTargets(targets []int) {
 	if len(targets) != e.cfg.Parts {
 		panic("shardcache: SetTargets length mismatch")
 	}
+	e.rmu.Lock()
+	defer e.rmu.Unlock()
 	e.tmu.Lock()
-	defer e.tmu.Unlock()
 	copy(e.targets, targets)
-	even := make([]float64, len(e.shards))
-	for i := range even {
-		even[i] = 1
+	copy(e.goalScratch, e.targets)
+	e.tmu.Unlock()
+	for g := range e.weightScratch {
+		e.weightScratch[g] = 1
 	}
-	perShard := make([][]int, len(e.shards))
-	for i := range perShard {
-		perShard[i] = make([]int, e.cfg.Parts)
-	}
-	for p := 0; p < e.cfg.Parts; p++ {
-		shares := apportion(e.targets[p], even)
-		for i := range e.shards {
-			perShard[i][p] = shares[i]
-		}
-	}
-	e.applyTargets(perShard)
+	e.apportionAll()
+	e.applyTargets()
 }
 
 // Targets returns a copy of the cache-wide per-partition targets.
@@ -217,55 +299,91 @@ func (e *Engine) Targets() []int {
 	return append([]int(nil), e.targets...)
 }
 
-// Rebalance is the global target distributor: it snapshots every shard's
-// per-partition occupancy and demand (in shard order, one lock at a time),
-// resets the demand counters, and re-apportions each partition's cache-wide
-// target across shards proportional to demand + occupancy. A shard that saw
-// more of a partition's traffic gets a larger slice of that partition's
-// global allocation, so cache-wide partition sizes track the paper's
-// targets even when the address hash routes partitions unevenly.
+// Rebalance is the global target distributor: one snapshot-then-apply pass
+// that (1) swaps every stripe's demand counters with a zeroed spare buffer
+// and copies its current sizes, holding each stripe lock only for that
+// exchange, (2) re-apportions each partition's cache-wide target across
+// stripes proportional to demand + occupancy outside every lock, and (3)
+// installs the new per-stripe targets, again one bounded operation per
+// stripe lock. A stripe that saw more of a partition's traffic gets a larger
+// slice of that partition's global allocation, so cache-wide partition sizes
+// track the paper's targets even when the address hash routes partitions
+// unevenly.
 //
-// The +1 smoothing term keeps every shard's weight positive, so no shard's
-// target collapses to zero on a quiet interval (which would force its local
-// controller to evict the partition entirely and then refill on the next
-// interval).
+// tmu is held only to copy the goal vector — never across a stripe lock —
+// and concurrent passes serialize on rmu, so a stalled stripe can delay the
+// distributor but never a target reader or another stripe's accessors.
+//
+// The +1 smoothing term keeps every stripe's weight positive, so no
+// stripe's target collapses to zero on a quiet interval (which would force
+// its local controller to evict the partition entirely and then refill on
+// the next interval).
 func (e *Engine) Rebalance() {
+	e.rmu.Lock()
+	defer e.rmu.Unlock()
 	e.tmu.Lock()
-	defer e.tmu.Unlock()
-	nS, nP := len(e.shards), e.cfg.Parts
-	weights := make([][]float64, nP) // [part][shard]
-	for p := range weights {
-		weights[p] = make([]float64, nS)
+	copy(e.goalScratch, e.targets)
+	e.tmu.Unlock()
+	// Collect: per stripe, one bounded critical section that exchanges the
+	// demand buffer for a zeroed spare and copies the current sizes.
+	for g, st := range e.stripes {
+		buf := e.spare[g]
+		sizes := e.sizeScratch[g]
+		st.mu.Lock()
+		st.demand, buf = buf, st.demand
+		copy(sizes, st.cache.Sizes())
+		st.mu.Unlock()
+		e.spare[g] = buf
 	}
-	for i, s := range e.shards {
-		s.mu.Lock()
-		snap := s.cache.StatsSnapshot()
-		for p := 0; p < nP; p++ {
-			weights[p][i] = float64(s.demand[p]) + float64(snap.Parts[p].Size) + 1
-			s.demand[p] = 0
-		}
-		s.mu.Unlock()
-	}
-	perShard := make([][]int, nS)
-	for i := range perShard {
-		perShard[i] = make([]int, nP)
-	}
+	// Weigh and apportion outside every stripe lock.
+	nP := e.cfg.Parts
 	for p := 0; p < nP; p++ {
-		shares := apportion(e.targets[p], weights[p])
-		for i := 0; i < nS; i++ {
-			perShard[i][p] = shares[i]
+		for g := range e.stripes {
+			e.weightScratch[g] = float64(e.spare[g][p]) + float64(e.sizeScratch[g][p]) + 1
+		}
+		e.apportionPart(p)
+	}
+	// The spare buffers must be zero before the next swap hands them to a
+	// stripe as fresh counters.
+	for g := range e.spare {
+		for p := range e.spare[g] {
+			e.spare[g][p] = 0
 		}
 	}
-	e.applyTargets(perShard)
+	e.applyTargets()
 }
 
-// applyTargets installs per-shard target vectors, taking each shard lock in
-// turn. Callers hold tmu.
-func (e *Engine) applyTargets(perShard [][]int) {
-	for i, s := range e.shards {
-		s.mu.Lock()
-		s.cache.SetTargets(perShard[i])
-		s.mu.Unlock()
+// apportionAll splits every partition's goal across stripes with the
+// current weightScratch (callers hold rmu).
+//
+//fs:callerholds rmu
+func (e *Engine) apportionAll() {
+	for p := 0; p < e.cfg.Parts; p++ {
+		e.apportionPart(p)
+	}
+}
+
+// apportionPart fills perStripe[*][p] from goalScratch[p] and weightScratch
+// (callers hold rmu).
+//
+//fs:callerholds rmu
+func (e *Engine) apportionPart(p int) {
+	apportionInto(e.goalScratch[p], e.weightScratch, e.shareScratch, e.remScratch)
+	for g := range e.stripes {
+		e.perStripe[g][p] = e.shareScratch[g]
+	}
+}
+
+// applyTargets installs the perStripe target vectors, taking each stripe
+// lock in turn for exactly one SetTargets call. Callers hold rmu.
+//
+//fs:callerholds rmu
+func (e *Engine) applyTargets() {
+	for g, st := range e.stripes {
+		tv := e.perStripe[g]
+		st.mu.Lock()
+		st.cache.SetTargets(tv)
+		st.mu.Unlock()
 	}
 }
 
@@ -274,6 +392,16 @@ func (e *Engine) applyTargets(perShard [][]int) {
 // is a deterministic function of (total, weights) with ties broken by the
 // lowest index. Weights must be non-negative with a positive sum.
 func apportion(total int, weights []float64) []int {
+	shares := make([]int, len(weights))
+	rems := make([]float64, len(weights))
+	apportionInto(total, weights, shares, rems)
+	return shares
+}
+
+// apportionInto is apportion with caller-owned output buffers (the
+// distributor's allocation-free form). len(shares) and len(rems) must equal
+// len(weights).
+func apportionInto(total int, weights []float64, shares []int, rems []float64) {
 	sum := 0.0
 	for _, w := range weights {
 		if w < 0 {
@@ -284,8 +412,6 @@ func apportion(total int, weights []float64) []int {
 	if sum <= 0 {
 		panic("shardcache: apportionment weights sum to zero")
 	}
-	shares := make([]int, len(weights))
-	rems := make([]float64, len(weights))
 	used := 0
 	for i, w := range weights {
 		exact := float64(total) * (w / sum)
@@ -306,24 +432,23 @@ func apportion(total int, weights []float64) []int {
 		rems[best] = -2 // consumed; lowest index wins remaining ties
 		used++
 	}
-	return shares
 }
 
-// Snapshot returns the cache-wide measurement state: every shard's
-// StatsSnapshot (taken one shard lock at a time, in shard index order)
+// Snapshot returns the cache-wide measurement state: every stripe's
+// StatsSnapshot (taken one stripe lock at a time, in stripe index order)
 // merged into one core.Snapshot. Counters, histograms and Size/Target
 // columns add into cache-wide totals. Note that the merged
-// Snapshot.MeanOccupancy is a per-access average over shard-local samples
-// (each shard only samples its own slice), so it reports the loaded-shard
+// Snapshot.MeanOccupancy is a per-access average over stripe-local samples
+// (each stripe only samples its own slice), so it reports the loaded-stripe
 // average, not the cache-wide resident total; use Engine.MeanOccupancy for
 // the cache-wide per-partition occupancy.
 func (e *Engine) Snapshot() core.Snapshot {
 	var merged core.Snapshot
-	for i, s := range e.shards {
-		s.mu.Lock()
-		snap := s.cache.StatsSnapshot()
-		s.mu.Unlock()
-		if i == 0 {
+	for g, st := range e.stripes {
+		st.mu.Lock()
+		snap := st.cache.StatsSnapshot()
+		st.mu.Unlock()
+		if g == 0 {
 			merged = snap
 		} else {
 			merged.Merge(snap)
@@ -333,24 +458,24 @@ func (e *Engine) Snapshot() core.Snapshot {
 }
 
 // MeanOccupancy returns the cache-wide time-averaged resident line count of
-// a partition: the sum over shards of each shard's mean occupancy (each
-// sampled at that shard's own accesses). Comparable to the monolithic
+// a partition: the sum over stripes of each stripe's mean occupancy (each
+// sampled at that stripe's own accesses). Comparable to the monolithic
 // core.Cache.MeanOccupancy.
 func (e *Engine) MeanOccupancy(part int) float64 {
 	total := 0.0
-	for _, s := range e.shards {
-		s.mu.Lock()
-		snap := s.cache.StatsSnapshot()
-		s.mu.Unlock()
+	for _, st := range e.stripes {
+		st.mu.Lock()
+		snap := st.cache.StatsSnapshot()
+		st.mu.Unlock()
 		total += snap.MeanOccupancy(part)
 	}
 	return total
 }
 
-// PartSizes sums each partition's current decision size across shards into
+// PartSizes sums each partition's current decision size across stripes into
 // dst (allocated when nil or too short) and returns it. Unlike Snapshot it
 // copies no histograms, so serving layers can poll it on a stats path
-// without deep-copying every shard's measurement state.
+// without deep-copying every stripe's measurement state.
 func (e *Engine) PartSizes(dst []int) []int {
 	if len(dst) < e.cfg.Parts {
 		dst = make([]int, e.cfg.Parts)
@@ -359,37 +484,44 @@ func (e *Engine) PartSizes(dst []int) []int {
 	for i := range dst {
 		dst[i] = 0
 	}
-	for _, s := range e.shards {
-		s.mu.Lock()
-		sizes := s.cache.Sizes()
+	for _, st := range e.stripes {
+		st.mu.Lock()
+		sizes := st.cache.Sizes()
 		for p, n := range sizes {
 			dst[p] += n
 		}
-		s.mu.Unlock()
+		st.mu.Unlock()
 	}
 	return dst
 }
 
-// ShardSnapshots returns each shard's StatsSnapshot in shard index order.
+// ShardSnapshots returns each shard's measurement state in shard index
+// order, each shard's stripes merged into one core.Snapshot.
 func (e *Engine) ShardSnapshots() []core.Snapshot {
-	out := make([]core.Snapshot, len(e.shards))
-	for i, s := range e.shards {
-		s.mu.Lock()
-		out[i] = s.cache.StatsSnapshot()
-		s.mu.Unlock()
+	out := make([]core.Snapshot, e.Shards())
+	for g, st := range e.stripes {
+		st.mu.Lock()
+		snap := st.cache.StatsSnapshot()
+		st.mu.Unlock()
+		s := g / e.perShard
+		if g%e.perShard == 0 {
+			out[s] = snap
+		} else {
+			out[s].Merge(snap)
+		}
 	}
 	return out
 }
 
-// CheckInvariants audits every shard's controller with the sequential
-// simulator's full invariant rescan, one shard lock at a time.
+// CheckInvariants audits every stripe's controller with the sequential
+// simulator's full invariant rescan, one stripe lock at a time.
 func (e *Engine) CheckInvariants() error {
-	for i, s := range e.shards {
-		s.mu.Lock()
-		err := s.cache.CheckInvariants()
-		s.mu.Unlock()
+	for g, st := range e.stripes {
+		st.mu.Lock()
+		err := st.cache.CheckInvariants()
+		st.mu.Unlock()
 		if err != nil {
-			return fmt.Errorf("shard %d: %w", i, err)
+			return fmt.Errorf("stripe %d (shard %d): %w", g, g/e.perShard, err)
 		}
 	}
 	return nil

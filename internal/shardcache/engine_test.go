@@ -58,7 +58,20 @@ func monolithic(cfg Config) *core.Cache {
 // systems place lines with different hash functions and see different
 // interleavings, so the comparison is statistical (shape), not bit-exact.
 func TestShardedMatchesMonolithic(t *testing.T) {
+	runShardedVsMonolithic(t, testConfig(4))
+}
+
+// TestStripedMatchesMonolithic repeats the equivalence sweep with lock
+// striping enabled: four stripes per shard must not change what the engine
+// measures, only how finely it locks.
+func TestStripedMatchesMonolithic(t *testing.T) {
 	cfg := testConfig(4)
+	cfg.Stripes = 4
+	runShardedVsMonolithic(t, cfg)
+}
+
+func runShardedVsMonolithic(t *testing.T, cfg Config) {
+	t.Helper()
 	e := New(cfg)
 	e.SetTargets(testTargets())
 	rounds, perRound := 8, 8192

@@ -1,0 +1,134 @@
+package shardcache
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"fscache/internal/core"
+	"fscache/internal/futility"
+	"fscache/internal/xrand"
+)
+
+// TestConcurrentHammer is the -race acceptance test for the striped engine:
+// seeded workers split between the plain Access path and batched submission
+// hammer every stripe while explicit Rebalance calls, a background
+// Rebalancer and tenant churn (SetTargets swapping the target vector)
+// race against them. After quiesce the engine must pass the occupancy
+// conservation rescan (core.CheckInvariants per stripe) and the global
+// accounting must balance: no access lost, hits+misses == accesses,
+// resident lines within capacity.
+func TestConcurrentHammer(t *testing.T) {
+	cfg := Config{
+		Lines:   2048,
+		Ways:    16,
+		Shards:  4,
+		Stripes: 4,
+		Parts:   3,
+		Ranking: futility.CoarseLRU,
+		Seed:    testSeed ^ 0xa44e4,
+	}
+	e := New(cfg)
+	e.SetTargets([]int{1024, 640, 384})
+
+	workers, perWorker := 8, 16000
+	if testing.Short() {
+		workers, perWorker = 4, 4000
+	}
+	const batchSize = 24
+
+	var total atomic.Uint64
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		//fslint:ignore determinism hammer test: free-running workers deliberately share stripes; only race-freedom and conservation are asserted
+		go func(w int) {
+			defer wg.Done()
+			rng := xrand.New(uint64(w+1) * 0x9e3779b9)
+			zipf := xrand.NewZipf(rng, 0.9, 1<<13)
+			next := func() (uint64, int) {
+				part := rng.Intn(cfg.Parts)
+				return xrand.Mix64(uint64(part+1)<<24 + uint64(zipf.Next())), part
+			}
+			if w%2 == 0 {
+				// Batched half: one reusable Batch per goroutine.
+				b := e.NewBatch()
+				reqs := make([]Access, batchSize)
+				results := make([]core.AccessResult, batchSize)
+				for i := 0; i < perWorker; i += batchSize {
+					for j := range reqs {
+						reqs[j].Addr, reqs[j].Part = next()
+					}
+					b.Access(reqs, results)
+					total.Add(batchSize)
+				}
+				return
+			}
+			for i := 0; i < perWorker; i++ {
+				addr, part := next()
+				e.Access(addr, part)
+				total.Add(1)
+				if i%1024 == 1023 {
+					e.Rebalance() // foreground passes racing the background ones
+				}
+			}
+		}(w)
+	}
+
+	// Background redistribution at an aggressive cadence.
+	rb := e.StartRebalancer(200 * time.Microsecond)
+	// Tenant churn: the target vector flips between two apportionments
+	// while accessors run, exercising tmu against every stripe's demand
+	// accounting without ever co-holding the two (the //fs:lockorder
+	// contract this test smokes under -race).
+	var churn sync.WaitGroup
+	churn.Add(1)
+	//fslint:ignore determinism hammer test: target churn races against accessors by design
+	go func() {
+		defer churn.Done()
+		a := []int{1024, 640, 384}
+		b := []int{384, 640, 1024}
+		for i := 0; ; i++ {
+			select {
+			case <-done:
+				return
+			default:
+			}
+			if i%2 == 0 {
+				e.SetTargets(b)
+			} else {
+				e.SetTargets(a)
+			}
+		}
+	}()
+
+	wg.Wait()
+	close(done)
+	churn.Wait()
+	rb.Stop()
+
+	if err := e.CheckInvariants(); err != nil {
+		t.Fatalf("invariants after hammer: %v", err)
+	}
+	snap := e.Snapshot()
+	if snap.Accesses != total.Load() {
+		t.Fatalf("engine recorded %d accesses, workers performed %d", snap.Accesses, total.Load())
+	}
+	var hm uint64
+	size := 0
+	for p := range snap.Parts {
+		hm += snap.Parts[p].Hits + snap.Parts[p].Misses
+		size += snap.Parts[p].Size
+	}
+	if hm != total.Load() {
+		t.Fatalf("hits+misses %d != accesses %d", hm, total.Load())
+	}
+	if size > cfg.Lines {
+		t.Fatalf("resident lines %d exceed capacity %d", size, cfg.Lines)
+	}
+	if rb.Rebalances() == 0 {
+		t.Error("background rebalancer completed no passes during the hammer")
+	}
+}

@@ -1,0 +1,70 @@
+package shardcache
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Rebalancer is the background applier for the global target distributor:
+// it runs Engine.Rebalance on a fixed ticker so feedback aggregation and
+// target redistribution happen entirely off the access path. Serving layers
+// (internal/server) and load generators (cmd/fsload) start one instead of
+// hand-rolling a ticker goroutine.
+//
+// Staleness bound: between ticks the stripes run on the targets of the last
+// pass, so per-stripe targets lag demand shifts by at most one interval
+// (plus the duration of the pass itself). The feedback controllers tolerate
+// this by construction — they converge toward whatever target they hold —
+// so the interval trades redistribution responsiveness against distributor
+// work; it never affects safety or the cache-wide target sum.
+type Rebalancer struct {
+	e        *Engine
+	interval time.Duration
+	stop     chan struct{}
+	done     chan struct{}
+	stopOnce sync.Once
+	passes   atomic.Uint64
+}
+
+// StartRebalancer launches a background goroutine that calls e.Rebalance
+// every interval until Stop. interval must be positive.
+func (e *Engine) StartRebalancer(interval time.Duration) *Rebalancer {
+	if interval <= 0 {
+		panic("shardcache: Rebalancer interval must be positive")
+	}
+	r := &Rebalancer{
+		e:        e,
+		interval: interval,
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+	//fslint:ignore determinism background target distributor: redistribution cadence is wall-clock driven by design; deterministic runs use RunDeterministic's barrier protocol instead
+	go r.loop()
+	return r
+}
+
+func (r *Rebalancer) loop() {
+	defer close(r.done)
+	t := time.NewTicker(r.interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-r.stop:
+			return
+		case <-t.C:
+			r.e.Rebalance()
+			r.passes.Add(1)
+		}
+	}
+}
+
+// Stop quiesces the rebalancer: it returns after the background goroutine
+// has exited, with no pass in flight. Safe to call more than once.
+func (r *Rebalancer) Stop() {
+	r.stopOnce.Do(func() { close(r.stop) })
+	<-r.done
+}
+
+// Rebalances returns the number of completed background passes.
+func (r *Rebalancer) Rebalances() uint64 { return r.passes.Load() }
