@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test race lint check fmt fuzz smoke bench benchjson bench-gate cover soak load serve netsoak
+.PHONY: build test race lint check fmt fuzz smoke scenarios bench benchjson bench-gate cover soak load serve netsoak
 
 build:
 	$(GO) build ./...
@@ -28,17 +28,26 @@ fmt:
 	gofmt -w .
 
 # Short fuzz sessions (seed corpus + 10s of mutation each): the trace
-# decoder, the differential oracle over scenario programs, and the serving
-# layer's wire codec at both the payload and framed-stream level.
+# decoder, the differential oracle over scenario programs, the serving
+# layer's wire codec at both the payload and framed-stream level, and the
+# FSD1 decision-trace codec.
 fuzz:
 	$(GO) test -run='^$$' -fuzz=FuzzReadFrom -fuzztime=10s ./internal/trace
 	$(GO) test -run='^$$' -fuzz=FuzzAccess -fuzztime=10s ./internal/core
 	$(GO) test -run='^$$' -fuzz='^FuzzFrame$$' -fuzztime=10s ./internal/server
 	$(GO) test -run='^$$' -fuzz=FuzzFrameStream -fuzztime=10s ./internal/server
+	$(GO) test -run='^$$' -fuzz=FuzzDecisionTrace -fuzztime=10s ./internal/scenario
 
 # End-to-end smoke: the full quick-scale sweep must exit 0.
 smoke:
 	$(GO) run ./cmd/fstables -scale quick
+
+# Adversarial scenario matrix (DESIGN.md §16): run every committed spec in
+# examples/scenarios through fstables, including the counterfactual
+# decision-trace replay columns. The FS self-replay column must report zero
+# divergence; fstables exits non-zero if it does not.
+scenarios:
+	$(GO) run ./cmd/fstables -scenario examples/scenarios
 
 # Hot-path microbenchmarks with allocation counts (go test -bench form).
 bench:

@@ -19,6 +19,17 @@
 //	fsload -shards 2 -workers 4 -duration 2s -seed 7
 //	fsload -stripes 4 -batch 32             # striped locks, batched submission
 //	fsload -procs 1,2,4,8,16 -duration 1s   # GOMAXPROCS scaling sweep
+//	fsload -scenario spec.yaml -duration 5s # scenario-driven workers (see below)
+//
+// With -scenario, the cache geometry (lines/ways), partition count, initial
+// targets and per-worker address streams all come from a declarative
+// scenario spec (internal/scenario) instead of the -lines/-ways/-parts
+// flags and the built-in zipf mix. Each worker runs its own decorrelated
+// interleaving of the compiled stream (re-seeded per worker, cycling for
+// the whole -duration), so phase shifts, diurnal curves and scan storms
+// from the spec all reach the concurrent engine; tenant-churn events are
+// applied by worker 0 as live SetTargets updates racing the rebalancer —
+// the concurrent counterpart of the deterministic fstables -scenario run.
 //
 // The -procs sweep runs one fresh engine per GOMAXPROCS setting and emits a
 // single throughput/latency row per setting plus the speedup relative to
@@ -49,6 +60,7 @@ import (
 
 	"fscache/internal/core"
 	"fscache/internal/futility"
+	"fscache/internal/scenario"
 	"fscache/internal/shardcache"
 	"fscache/internal/stats"
 	"fscache/internal/xrand"
@@ -85,6 +97,7 @@ func main() {
 		procsList = flag.String("procs", "", "GOMAXPROCS sweep: comma-separated settings (e.g. 1,2,4,8,16); one row per setting")
 		rebalance = flag.Duration("rebalance", 250*time.Millisecond, "interval between target redistributions")
 		maxOcc    = flag.Float64("maxocc", -1, "fail (exit 1) when the worst occupancy error exceeds this fraction; <0 disables")
+		scen      = flag.String("scenario", "", "drive workers from this scenario spec file (overrides -lines/-ways/-parts and the synthetic address mix)")
 
 		netAddr   = flag.String("net", "", "network mode: drive the fsserve instance at this host:port instead of an in-process engine")
 		setFrac   = flag.Float64("setfrac", 0.3, "net: fraction of requests that are SETs")
@@ -104,6 +117,9 @@ func main() {
 		fail("need -workers >= 1, -duration > 0, -parts >= 1")
 	}
 	if *netAddr != "" {
+		if *scen != "" {
+			fail("-scenario drives the in-process engine; it cannot be combined with -net (give the spec to fsserve instead)")
+		}
 		if *setFrac < 0 || *setFrac >= 1 || *keySpace < 1 {
 			fail("need 0 <= -setfrac < 1 and -keys >= 1")
 		}
@@ -142,6 +158,21 @@ func main() {
 		batch:     *batch,
 		rebalance: *rebalance,
 	}
+	if *scen != "" {
+		ls, err := scenario.LoadSpec(*scen)
+		if err != nil {
+			fail(err.Error())
+		}
+		comp, err := scenario.Compile(ls.Spec, ls.Dir)
+		if err != nil {
+			fail(err.Error())
+		}
+		opts.comp = comp
+		opts.lines = ls.Spec.Cache.Lines
+		opts.ways = ls.Spec.Cache.Ways
+		opts.parts = comp.Parts()
+		fmt.Printf("fsload: scenario %s (%d clients, %d partitions)\n", ls.Spec.Name, len(comp.Clients), opts.parts)
+	}
 
 	if *procsList != "" {
 		runSweep(opts, parseProcs(*procsList), *maxOcc)
@@ -149,7 +180,7 @@ func main() {
 	}
 
 	fmt.Printf("fsload: %d lines / %d ways / %d shards × %d stripes, %d workers, %d partitions, batch %d, %v\n",
-		*lines, *ways, *shards, *stripes, *workers, *parts, *batch, *duration)
+		opts.lines, opts.ways, *shards, *stripes, *workers, opts.parts, *batch, *duration)
 
 	r := runLocal(opts)
 
@@ -179,6 +210,10 @@ type localOpts struct {
 	lines, ways, parts, batch int
 	duration, rebalance       time.Duration
 	seed                      uint64
+	// comp, when non-nil, replaces the synthetic zipf mix with compiled
+	// scenario streams (one decorrelated interleaving per worker) and the
+	// index-proportional targets with the spec's shares.
+	comp *scenario.Compiled
 }
 
 // localResult is everything the reports need from one run.
@@ -209,13 +244,19 @@ func runLocal(opts localOpts) localResult {
 		Ranking: futility.CoarseLRU,
 		Seed:    opts.seed,
 	})
-	// Targets proportional to partition index+1, summing exactly to capacity,
-	// so the occupancy-error report has distinct per-partition setpoints.
-	weights := make([]float64, opts.parts)
-	for p := range weights {
-		weights[p] = float64(p + 1)
+	var targets []int
+	if opts.comp != nil {
+		targets = opts.comp.Targets(opts.lines, opts.comp.InitialLive())
+	} else {
+		// Targets proportional to partition index+1, summing exactly to
+		// capacity, so the occupancy-error report has distinct
+		// per-partition setpoints.
+		weights := make([]float64, opts.parts)
+		for p := range weights {
+			weights[p] = float64(p + 1)
+		}
+		targets = apportionInts(opts.lines, weights)
 	}
-	targets := apportionInts(opts.lines, weights)
 	e.SetTargets(targets)
 
 	var stop atomic.Bool
@@ -229,13 +270,18 @@ func runLocal(opts localOpts) localResult {
 		wg.Add(1)
 		go func(w *worker) {
 			defer wg.Done()
-			rng := xrand.New(xrand.Mix64(opts.seed^0xf10ad) ^ xrand.Mix64(uint64(w.id+1)))
-			zipf := xrand.NewZipf(rng, 0.9, 4*opts.lines)
-			next := func() (uint64, int) {
-				part := rng.Intn(opts.parts)
-				// Mix64-finalized structured keys; see shardcache.BuildSchedule
-				// on H3 null spaces for why raw low-entropy keys are unsafe.
-				return xrand.Mix64(uint64(part+1)<<24 + uint64(zipf.Next())), part
+			var next func() (uint64, int)
+			if opts.comp != nil {
+				next = scenarioFeed(e, opts, w.id)
+			} else {
+				rng := xrand.New(xrand.Mix64(opts.seed^0xf10ad) ^ xrand.Mix64(uint64(w.id+1)))
+				zipf := xrand.NewZipf(rng, 0.9, 4*opts.lines)
+				next = func() (uint64, int) {
+					part := rng.Intn(opts.parts)
+					// Mix64-finalized structured keys; see shardcache.BuildSchedule
+					// on H3 null spaces for why raw low-entropy keys are unsafe.
+					return xrand.Mix64(uint64(part+1)<<24 + uint64(zipf.Next())), part
+				}
 			}
 			if opts.batch > 1 {
 				b := e.NewBatch()
@@ -290,13 +336,25 @@ func runLocal(opts localOpts) localResult {
 		occErr:     make([]float64, opts.parts),
 		snap:       e.Snapshot(),
 	}
+	if opts.comp != nil {
+		// Scenario churn may have retargeted partitions mid-run; report
+		// occupancy error against the targets the engine actually holds.
+		for p := 0; p < opts.parts; p++ {
+			r.targets[p] = r.snap.Parts[p].Target
+		}
+	}
 	for _, w := range ws {
 		r.total += w.ops
 	}
 	r.accPerSec = float64(r.total) / elapsed.Seconds()
 	for p := 0; p < opts.parts; p++ {
 		r.occ[p] = e.MeanOccupancy(p)
-		r.occErr[p] = math.Abs(r.occ[p]-float64(targets[p])) / float64(targets[p])
+		if r.targets[p] > 0 {
+			// Dead (churned-out) tenants hold target 0; their residual
+			// occupancy decays at the eviction rate, so a relative error
+			// against 0 is not meaningful and they are skipped here.
+			r.occErr[p] = math.Abs(r.occ[p]-float64(r.targets[p])) / float64(r.targets[p])
+		}
 		if r.occErr[p] > r.worst {
 			r.worst = r.occErr[p]
 		}
@@ -305,6 +363,40 @@ func runLocal(opts localOpts) localResult {
 		fail(fmt.Sprintf("accounting: engine recorded %d accesses, workers performed %d", r.snap.Accesses, r.total))
 	}
 	return r
+}
+
+// scenarioFeed returns a worker's address source for scenario mode: its own
+// re-seeded interleaving of the compiled stream, cycled for the whole run
+// (one pass covers spec.Accesses operations; wall-clock runs keep going).
+// Worker 0 doubles as the churn driver, applying tenant-churn target vectors
+// to the live engine as its stream reaches them; other workers skip churn
+// ops so the target vector has a single writer besides the rebalancer.
+func scenarioFeed(e *shardcache.Engine, opts localOpts, id int) func() (uint64, int) {
+	seed := func(epoch uint64) uint64 {
+		return xrand.Mix64(opts.comp.Spec.Seed ^ uint64(id+1)*0x9e3779b97f4a7c15 ^ epoch*0xbf58476d1ce4e5b9)
+	}
+	epoch := uint64(0)
+	st := opts.comp.NewStreamSeeded(opts.lines, seed(0))
+	var op scenario.Op
+	return func() (uint64, int) {
+		for {
+			if !st.Next(&op) {
+				epoch++
+				st = opts.comp.NewStreamSeeded(opts.lines, seed(epoch))
+				continue
+			}
+			if op.Kind == scenario.OpChurn {
+				if id == 0 {
+					e.SetTargets(op.Targets)
+				}
+				continue
+			}
+			// Mix64-finalize the structured scenario address (a bijection,
+			// so client address spaces stay disjoint); see
+			// shardcache.BuildSchedule on H3 null spaces.
+			return xrand.Mix64(op.Access.Addr), op.Part
+		}
+	}
 }
 
 // runSweep runs one fresh engine per GOMAXPROCS setting and prints one

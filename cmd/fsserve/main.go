@@ -17,10 +17,18 @@
 // harnesses can prove the serving stack survives wire damage on its own
 // responses; see internal/faultinject.
 //
+// With -scenario, the tenant topology comes from a declarative scenario
+// spec (internal/scenario) instead of -tenants/-targets/-lines/-ways: one
+// tenant per compiled client (replicated clients expand), SLO class from
+// the client's class field, line targets from the spec's shares, cache
+// geometry from its cache block. The same spec then drives matched load
+// via fsload -scenario or the offline fstables -scenario comparison.
+//
 // Examples:
 //
 //	fsserve -addr 127.0.0.1:7070
 //	fsserve -tenants g:5000,b:2000,b:0 -lines 16384 -rebalance 250ms
+//	fsserve -scenario examples/scenarios/mixed-tenants.yaml
 //	fsserve -addr 127.0.0.1:0 -addrfile /tmp/fsserve.addr   # CI smoke
 package main
 
@@ -37,6 +45,7 @@ import (
 
 	"fscache/internal/faultinject"
 	"fscache/internal/futility"
+	"fscache/internal/scenario"
 	"fscache/internal/server"
 	"fscache/internal/shardcache"
 )
@@ -59,6 +68,7 @@ func main() {
 		faults    = flag.Bool("faults", false, "wrap the listener with the seeded network fault injector")
 		faultseed = flag.Uint64("faultseed", 2026, "fault injector seed")
 		quiet     = flag.Bool("quiet", false, "suppress operational logging")
+		scen      = flag.String("scenario", "", "derive tenants, targets and cache geometry from this scenario spec file (overrides -tenants/-targets/-lines/-ways)")
 	)
 	flag.Parse()
 
@@ -69,6 +79,11 @@ func main() {
 	var tgt []int
 	if *targets != "" {
 		if tgt, err = parseInts(*targets); err != nil {
+			fail(err.Error())
+		}
+	}
+	if *scen != "" {
+		if tcs, tgt, err = scenarioTopology(*scen, lines, ways); err != nil {
 			fail(err.Error())
 		}
 	}
@@ -137,6 +152,32 @@ func main() {
 	if drainErr != nil {
 		fail(drainErr.Error())
 	}
+}
+
+// scenarioTopology compiles a scenario spec into the server's tenant
+// topology: one tenant per compiled client (replicated clients expand),
+// class from the client's class field, line targets from the spec's shares
+// over the initially-live set, cache geometry from the spec's cache block
+// (written through lines/ways).
+func scenarioTopology(path string, lines, ways *int) ([]server.TenantConfig, []int, error) {
+	ls, err := scenario.LoadSpec(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	comp, err := scenario.Compile(ls.Spec, ls.Dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	*lines = ls.Spec.Cache.Lines
+	*ways = ls.Spec.Cache.Ways
+	tcs := make([]server.TenantConfig, len(comp.Clients))
+	for i, cl := range comp.Clients {
+		tcs[i].Class = server.Guaranteed
+		if cl.Class == "b" {
+			tcs[i].Class = server.BestEffort
+		}
+	}
+	return tcs, comp.Targets(*lines, comp.InitialLive()), nil
 }
 
 // parseTenants parses "g:5000,b:2000:300,b" into tenant configs.

@@ -15,6 +15,9 @@
 //	fstables -list                 # show available experiment ids
 //	fstables -timeout 30m          # per-experiment wall-clock deadline
 //	fstables -scale full -resume   # continue an interrupted sweep
+//	fstables -scenario spec.yaml   # one declarative scenario (or a directory
+//	                               # of specs): FS vs PF/Vantage comparison
+//	                               # tables with counterfactual decision replay
 package main
 
 import (
@@ -29,6 +32,7 @@ import (
 	"fscache/internal/experiments"
 	"fscache/internal/harness"
 	"fscache/internal/profiling"
+	"fscache/internal/scenario"
 )
 
 func main() {
@@ -44,6 +48,7 @@ func main() {
 		resume  = flag.Bool("resume", false, "skip experiments completed by a previous run (see -journal)")
 		journal = flag.String("journal", "fstables.journal", "completion journal used by -resume")
 		panicID = flag.String("panic", "", "make the named experiment panic (harness self-test)")
+		scen    = flag.String("scenario", "", "scenario spec file or directory; replaces the experiment registry")
 	)
 	prof := profiling.Register()
 	flag.Parse()
@@ -75,7 +80,31 @@ func main() {
 	}
 
 	runners := experiments.Registry()
-	if *fig != "all" {
+	if *scen != "" {
+		loaded, err := scenario.LoadSpecs(*scen)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "fstables:", err)
+			os.Exit(2)
+		}
+		runners = runners[:0]
+		for _, ls := range loaded {
+			ls := ls
+			if *seed != 0 {
+				ls.Spec.Seed = *seed
+			}
+			runners = append(runners, experiments.Runner{
+				ID:   "scenario:" + ls.Spec.Name,
+				Desc: fmt.Sprintf("scenario %s: FS vs PF/Vantage with counterfactual replay", ls.Spec.Name),
+				Run: func(experiments.Scale) experiments.Printable {
+					res, err := experiments.RunScenario(ls.Spec, ls.Dir)
+					if err != nil {
+						panic("fstables: " + err.Error())
+					}
+					return res
+				},
+			})
+		}
+	} else if *fig != "all" {
 		r, err := experiments.ByID(strings.TrimSpace(*fig))
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "fstables:", err)

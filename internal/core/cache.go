@@ -102,11 +102,15 @@ type Cache struct {
 	// filters must honor the pipeline's no-allocation contract.
 	//fs:allocfree
 	candFilter CandidateFilter
-	freer      cachearray.Freer
-	allCands   bool
-	fullSel    FullSelector
-	worst      futility.WorstTracker
-	refWorst   futility.WorstTracker
+	// decObs, when installed, observes every replacement decision; observers
+	// must honor the pipeline's no-allocation contract.
+	//fs:allocfree
+	decObs   DecisionObserver
+	freer    cachearray.Freer
+	allCands bool
+	fullSel  FullSelector
+	worst    futility.WorstTracker
+	refWorst futility.WorstTracker
 
 	// Hot-path devirtualization. The two rankers every large experiment runs
 	// (§V's coarse timestamps and the exact order-statistic LRU) are pinned
@@ -261,6 +265,22 @@ type CandidateFilter func(cands []Candidate) []Candidate
 
 // SetCandidateFilter installs f (nil removes any installed filter).
 func (c *Cache) SetCandidateFilter(f CandidateFilter) { c.candFilter = f }
+
+// DecisionObserver observes every replacement decision after the scheme has
+// made it but before the eviction is applied: cands is the candidate slice
+// the scheme saw (post-filter on the set-associative path, the per-partition
+// worst list on the fully-associative path), victim indexes into it, and
+// forced reports a forced eviction. The slice aliases a reused buffer —
+// observers must copy what they keep — and the observer runs on the miss
+// path, so it must honor the pipeline's steady-state no-allocation contract
+// (append into retained, geometrically grown buffers, as the scenario
+// decision recorder does).
+type DecisionObserver func(cands []Candidate, insertPart, victim int, forced bool)
+
+// SetDecisionObserver installs f (nil removes any installed observer).
+// Observers see decisions, not hits or free-line fills: the callback fires
+// exactly once per eviction of a valid line.
+func (c *Cache) SetDecisionObserver(f DecisionObserver) { c.decObs = f }
 
 // AccessResult reports what one access did.
 type AccessResult struct {
@@ -446,6 +466,9 @@ func (c *Cache) choose(cands []int, insertPart int) int {
 	if d.Victim < 0 || d.Victim >= len(pool) {
 		panic("core: scheme returned victim out of range")
 	}
+	if c.decObs != nil {
+		c.decObs(pool, insertPart, d.Victim, d.Forced)
+	}
 	for _, di := range d.Demote {
 		if di == d.Victim {
 			panic("core: scheme demoted the victim")
@@ -488,6 +511,9 @@ func (c *Cache) chooseFull(insertPart int) int {
 	i := c.fullSel.DecideFull(c.worstBuf, insertPart)
 	if i < 0 || i >= len(c.worstBuf) {
 		panic("core: scheme returned full-path victim out of range")
+	}
+	if c.decObs != nil {
+		c.decObs(c.worstBuf, insertPart, i, false)
 	}
 	return c.worstBuf[i].Line
 }

@@ -127,6 +127,9 @@ const (
 type CacheSpec struct {
 	Lines int
 	Array ArrayKind
+	// Ways overrides the associativity of Array16Way (default 16; scenario
+	// specs choose their own associativity).
+	Ways int
 	// RandomR overrides the candidate count of ArrayRandom16 (default 16).
 	RandomR        int
 	Rank           futility.Kind
@@ -213,7 +216,7 @@ func Build(spec CacheSpec, fsParams FSFeedbackParams) *Built {
 	case SchemeUnmanaged:
 		scheme = baselines.NewUnmanaged()
 	case SchemeWayPart:
-		if spec.Array != Array16Way {
+		if spec.Array != Array16Way || (spec.Ways != 0 && spec.Ways != 16) {
 			panic("experiments: waypart requires the 16-way set-associative array")
 		}
 		scheme = baselines.NewWayPart(parts, 16)
@@ -229,12 +232,16 @@ func Build(spec CacheSpec, fsParams FSFeedbackParams) *Built {
 	aseed := xrand.Mix64(spec.Seed ^ 0xa77a)
 	switch spec.Array {
 	case Array16Way:
+		ways := spec.Ways
+		if ways == 0 {
+			ways = 16
+		}
 		// H3 indexing rather than plain XOR folding: our synthetic address
 		// spaces are perfectly aligned (component bases in high bits), so
 		// XOR folds resonate at particular set counts and manufacture
 		// conflicts real page-randomized SPEC addresses would never see.
 		// H3 restores the "good hash indexing" premise of §III-B.
-		arr = cachearray.NewSetAssoc(spec.Lines, 16, cachearray.IndexH3, aseed)
+		arr = cachearray.NewSetAssoc(spec.Lines, ways, cachearray.IndexH3, aseed)
 	case ArrayRandom16:
 		r := spec.RandomR
 		if r == 0 {

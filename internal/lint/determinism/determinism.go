@@ -53,6 +53,7 @@ var DefaultSimPackages = []string{
 	"fscache/internal/oracle",
 	"fscache/internal/difftest",
 	"fscache/internal/shardcache",
+	"fscache/internal/scenario",
 }
 
 // Analyzer enforces the contract over DefaultSimPackages.

@@ -29,6 +29,7 @@ func TestDefaultScope(t *testing.T) {
 		"fscache/internal/oracle":      true,
 		"fscache/internal/difftest":    true,
 		"fscache/internal/shardcache":  true,
+		"fscache/internal/scenario":    true,
 	}
 	if len(determinism.DefaultSimPackages) != len(want) {
 		t.Fatalf("DefaultSimPackages has %d entries, want %d", len(determinism.DefaultSimPackages), len(want))

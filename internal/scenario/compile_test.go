@@ -1,0 +1,272 @@
+package scenario
+
+import (
+	"testing"
+)
+
+// churnSpec is a compact scenario touching every stream feature the tests
+// pin: replication, deferred start, phases, diurnal load and churn.
+const churnSpec = `
+name: compile-test
+seed: 99
+accesses: 20000
+cache:
+  lines: 1024
+clients:
+  - name: steady
+    replicate: 3
+    share: 1
+    workload:
+      mix:
+        - kind: zipf
+          lines: 256
+          theta: 1.0
+          weight: 1
+  - name: bursty
+    share: 2
+    arrival:
+      process: weibull
+      shape: 0.7
+    diurnal:
+      amplitude: 0.5
+      period: 0.5
+    workload:
+      profile: lbm
+      shrink: 8
+    phases:
+      - from: 0.3
+        to: 0.5
+        ratescale: 4
+        scanlines: 2048
+  - name: latecomer
+    share: 1
+    start: 0.4
+    workload:
+      mix:
+        - kind: uniform
+          lines: 128
+          weight: 1
+churn:
+  - at: 0.6
+    client: bursty
+    action: destroy
+  - at: 0.8
+    client: bursty
+    action: create
+`
+
+func compileChurnSpec(t *testing.T) *Compiled {
+	t.Helper()
+	spec, err := Parse([]byte(churnSpec), "compile-test")
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	comp, err := Compile(spec, "")
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	return comp
+}
+
+func TestCompileExpandsReplicas(t *testing.T) {
+	comp := compileChurnSpec(t)
+	if comp.Parts() != 5 {
+		t.Fatalf("parts %d, want 5 (3 replicas + 2 singles)", comp.Parts())
+	}
+	wantNames := []string{"steady#0", "steady#1", "steady#2", "bursty", "latecomer"}
+	for i, cl := range comp.Clients {
+		if cl.Name != wantNames[i] || cl.Part != i {
+			t.Errorf("client %d = %q part %d, want %q part %d", i, cl.Name, cl.Part, wantNames[i], i)
+		}
+	}
+}
+
+func TestTargetsApportionment(t *testing.T) {
+	comp := compileChurnSpec(t)
+	const lines = 1024
+	all := []bool{true, true, true, true, true}
+	tg := comp.Targets(lines, all)
+	sum := 0
+	for _, v := range tg {
+		sum += v
+	}
+	if sum != lines {
+		t.Fatalf("live targets sum to %d, want %d", sum, lines)
+	}
+	// Shares 1,1,1,2,1: bursty gets double a steady replica's target, up
+	// to the ±1 line largest-remainder rounding can move either side.
+	if diff := tg[3] - 2*tg[0]; diff < -2 || diff > 2 {
+		t.Errorf("bursty target %d, want ~double steady's %d", tg[3], tg[0])
+	}
+
+	// Dead clients get zero and their share washes into the live set.
+	dead := []bool{true, true, true, false, true}
+	tg2 := comp.Targets(lines, dead)
+	if tg2[3] != 0 {
+		t.Errorf("dead client target %d, want 0", tg2[3])
+	}
+	sum = 0
+	for _, v := range tg2 {
+		sum += v
+	}
+	if sum != lines {
+		t.Fatalf("post-churn targets sum to %d, want %d", sum, lines)
+	}
+	if tg2[0] != lines/4 {
+		t.Errorf("equal-share live target %d, want %d", tg2[0], lines/4)
+	}
+
+	// An all-dead mask yields all-zero targets, not a panic or NaN split.
+	none := comp.Targets(lines, make([]bool, 5))
+	for i, v := range none {
+		if v != 0 {
+			t.Fatalf("all-dead target[%d] = %d, want 0", i, v)
+		}
+	}
+}
+
+func TestInitialLive(t *testing.T) {
+	comp := compileChurnSpec(t)
+	live := comp.InitialLive()
+	want := []bool{true, true, true, true, false} // latecomer's start defers it
+	for i := range want {
+		if live[i] != want[i] {
+			t.Errorf("initial live[%d] = %v, want %v", i, live[i], want[i])
+		}
+	}
+}
+
+// drainStream consumes a whole stream, returning the access ops in order
+// and the number of churn ops observed.
+func drainStream(s *Stream) (accs []Op, churns int) {
+	var op Op
+	for s.Next(&op) {
+		if op.Kind == OpChurn {
+			churns++
+			continue
+		}
+		accs = append(accs, op)
+	}
+	return accs, churns
+}
+
+// TestStreamDeterminism pins the compile-once-replay-anywhere contract:
+// two streams built from independently parsed copies of the same spec
+// must emit bit-identical operation sequences, and a reseeded stream must
+// diverge (it is a different interleaving, not a cached copy).
+func TestStreamDeterminism(t *testing.T) {
+	a, _ := drainStream(compileChurnSpec(t).NewStream(1024))
+	b, _ := drainStream(compileChurnSpec(t).NewStream(1024))
+	if len(a) != len(b) {
+		t.Fatalf("runs emitted %d vs %d accesses", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].Access != b[i].Access || a[i].Part != b[i].Part {
+			t.Fatalf("access %d diverged: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+
+	c, _ := drainStream(compileChurnSpec(t).NewStreamSeeded(1024, 0x0ddba11))
+	same := len(a) == len(c)
+	if same {
+		for i := range a {
+			if a[i].Access != c[i].Access || a[i].Part != c[i].Part {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Fatal("reseeded stream replayed the base seed's interleaving")
+	}
+}
+
+// TestStreamShape pins the structural contract of one full pass: exactly
+// Accesses access ops, every partition in range, churn events fired with
+// consistent live/target payloads, and the deferred client silent before
+// its start fraction.
+func TestStreamShape(t *testing.T) {
+	comp := compileChurnSpec(t)
+	total := comp.Spec.Accesses
+	s := comp.NewStream(1024)
+	seen := 0
+	churns := 0
+	var op Op
+	for s.Next(&op) {
+		switch op.Kind {
+		case OpChurn:
+			churns++
+			sum := 0
+			for i, tgt := range op.Targets {
+				if tgt < 0 {
+					t.Fatalf("churn %d: negative target %d", churns, tgt)
+				}
+				if !op.Live[i] && tgt != 0 {
+					t.Fatalf("churn %d: dead client %d holds target %d", churns, i, tgt)
+				}
+				sum += tgt
+			}
+			if sum != 1024 {
+				t.Fatalf("churn %d: targets sum to %d, want 1024", churns, sum)
+			}
+		case OpAccess:
+			if op.Part < 0 || op.Part >= comp.Parts() {
+				t.Fatalf("access %d: partition %d out of range", seen, op.Part)
+			}
+			if op.Part == 4 && seen < int(0.4*float64(total))-1 {
+				t.Fatalf("deferred client emitted access %d before its start", seen)
+			}
+			seen++
+		}
+	}
+	if seen != total {
+		t.Fatalf("stream emitted %d accesses, want %d", seen, total)
+	}
+	// latecomer activation + bursty destroy + bursty create.
+	if churns != 3 {
+		t.Fatalf("stream emitted %d churn ops, want 3", churns)
+	}
+	// A drained stream stays drained.
+	if s.Next(&op) {
+		t.Fatal("drained stream produced another op")
+	}
+}
+
+// TestStreamScanStormPhase verifies the phase machinery switches workloads:
+// during the scan-storm phase the bursty client's addresses must include
+// lines outside its base lbm footprint — specifically the scan's dense
+// low-offset sweep — and its access share must rise with the 4x ratescale.
+func TestStreamScanStormPhase(t *testing.T) {
+	comp := compileChurnSpec(t)
+	total := comp.Spec.Accesses
+	s := comp.NewStream(1024)
+	var op Op
+	inPhase, outPhase := 0, 0
+	emitted := 0
+	for s.Next(&op) {
+		if op.Kind != OpAccess {
+			continue
+		}
+		if op.Part == 3 {
+			if frac := float64(emitted) / float64(total); frac >= 0.3 && frac < 0.5 {
+				inPhase++
+			} else {
+				outPhase++
+			}
+		}
+		emitted++
+	}
+	if inPhase == 0 {
+		t.Fatal("bursty client emitted nothing during its scan-storm phase")
+	}
+	// The phase covers 20% of the run at 4x rate; outside covers 60% (the
+	// client is dead from 0.6 to 0.8) at 1x. The visible density gain is
+	// damped well below 4x because the other clients' competing arrivals
+	// cap bursty's share of the interleaving and the diurnal curve swings
+	// the out-of-phase rate, but the storm must still clearly stand out.
+	inDensity := float64(inPhase) / 0.2
+	outDensity := float64(outPhase) / 0.6
+	if inDensity < 1.4*outDensity {
+		t.Fatalf("scan-storm ratescale not visible: in-phase density %.0f vs out-of-phase %.0f", inDensity, outDensity)
+	}
+}

@@ -1,0 +1,263 @@
+package scenario
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+)
+
+// Decision-trace file format FSD1 (little endian):
+//
+//	magic    [4]byte  "FSD1"
+//	parts    uint32   partition count of the recording cache
+//	count    uint64   number of decision records
+//	records  count × {
+//	    seq        uint64   cache access sequence number of the miss
+//	    insertPart uint32   partition performing the insertion
+//	    victim     uint16   index into the candidate list below
+//	    flags      uint8    bit 0: forced eviction; other bits must be 0
+//	    ncand      uint16   candidate count (1..65535; the fully-associative
+//	                        path yields one candidate per non-empty
+//	                        partition, so thousand-partition traces exceed
+//	                        a single byte)
+//	    cands      ncand × {
+//	        line     uint32   cache line index
+//	        part     uint32   partition the line counts against
+//	        raw      uint64   raw futility rank the ranker reported
+//	        futility float64  reference futility (IEEE bits)
+//	        alpha    float64  partition scaling factor at decision time
+//	        actual   int32    partition actual size at decision time
+//	        target   int32    partition target size at decision time
+//	    }
+//	}
+//	crc      uint32   IEEE CRC-32 of magic+parts+count+records
+//
+// Like the FST2 access-trace format, FSD1 is deliberately dumb: fixed-width
+// fields and a trailing checksum, so torn writes, truncation and bit rot
+// are detected instead of silently skewing a counterfactual comparison.
+// Each candidate carries the complete operand set every supported ranking
+// scheme reads — FS needs raw×alpha, PF and Vantage need per-partition
+// actual/target — so a record can be re-ranked under any of them without
+// access to the original cache state.
+//
+// Decode is strict: bounds are validated (victim < ncand, parts match the
+// header, flags restricted to defined bits) so that any accepted file
+// re-encodes byte-identically — the totality property the torn/bit-flip
+// sweeps and FuzzDecisionTrace lock in.
+
+var magicFSD1 = [4]byte{'F', 'S', 'D', '1'}
+
+// ErrBadDecisionMagic reports a file that is not a decision trace.
+var ErrBadDecisionMagic = errors.New("scenario: bad magic, not a decision-trace file")
+
+// ErrBadDecisionCRC reports a decision-trace file whose payload does not
+// match its checksum footer.
+var ErrBadDecisionCRC = errors.New("scenario: checksum mismatch, corrupt decision-trace file")
+
+const (
+	decHeadSize = 8 + 4 + 2 + 1 + 2 // per-record fixed head
+	decCandSize = 4 + 4 + 8 + 8 + 8 + 4 + 4
+	// decAllocChunk bounds header-trusted allocation, as in the FST2 codec.
+	decAllocChunk = 1 << 12
+)
+
+// DecisionCand is one recorded replacement candidate with every operand
+// the supported schemes rank by.
+type DecisionCand struct {
+	Line     uint32
+	Part     uint32
+	Raw      uint64
+	Futility float64
+	Alpha    float64
+	Actual   int32
+	Target   int32
+}
+
+// Decision is one recorded replacement decision.
+type Decision struct {
+	// Seq is the recording cache's access sequence number at the miss.
+	Seq uint64
+	// InsertPart is the partition whose miss forced the eviction.
+	InsertPart uint32
+	// Victim indexes Cands: the candidate the scheme chose.
+	Victim uint16
+	// Forced reports a forced eviction (Vantage's aperture exhausted).
+	Forced bool
+	// Cands is the candidate list exactly as the scheme saw it.
+	Cands []DecisionCand
+}
+
+// DecisionTrace is an in-memory decision sequence plus the partition count
+// of the cache that recorded it.
+type DecisionTrace struct {
+	Parts     uint32
+	Decisions []Decision
+}
+
+// WriteTo serializes the trace to w in the FSD1 format.
+func (t *DecisionTrace) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	sum := crc32.NewIEEE()
+	var written int64
+	write := func(p []byte) error {
+		n, err := bw.Write(p)
+		written += int64(n)
+		if err != nil {
+			return err
+		}
+		sum.Write(p)
+		return nil
+	}
+	if err := write(magicFSD1[:]); err != nil {
+		return written, err
+	}
+	var hdr [12]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], t.Parts)
+	binary.LittleEndian.PutUint64(hdr[4:12], uint64(len(t.Decisions)))
+	if err := write(hdr[:]); err != nil {
+		return written, err
+	}
+	var head [decHeadSize]byte
+	var cand [decCandSize]byte
+	for i := range t.Decisions {
+		d := &t.Decisions[i]
+		if len(d.Cands) == 0 || len(d.Cands) > 65535 {
+			return written, fmt.Errorf("scenario: decision %d has %d candidates (want 1..65535)", i, len(d.Cands))
+		}
+		if int(d.Victim) >= len(d.Cands) {
+			return written, fmt.Errorf("scenario: decision %d victim %d out of %d candidates", i, d.Victim, len(d.Cands))
+		}
+		binary.LittleEndian.PutUint64(head[0:8], d.Seq)
+		binary.LittleEndian.PutUint32(head[8:12], d.InsertPart)
+		binary.LittleEndian.PutUint16(head[12:14], d.Victim)
+		head[14] = 0
+		if d.Forced {
+			head[14] = 1
+		}
+		binary.LittleEndian.PutUint16(head[15:17], uint16(len(d.Cands)))
+		if err := write(head[:]); err != nil {
+			return written, err
+		}
+		for j := range d.Cands {
+			c := &d.Cands[j]
+			binary.LittleEndian.PutUint32(cand[0:4], c.Line)
+			binary.LittleEndian.PutUint32(cand[4:8], c.Part)
+			binary.LittleEndian.PutUint64(cand[8:16], c.Raw)
+			binary.LittleEndian.PutUint64(cand[16:24], math.Float64bits(c.Futility))
+			binary.LittleEndian.PutUint64(cand[24:32], math.Float64bits(c.Alpha))
+			binary.LittleEndian.PutUint32(cand[32:36], uint32(c.Actual))
+			binary.LittleEndian.PutUint32(cand[36:40], uint32(c.Target))
+			if err := write(cand[:]); err != nil {
+				return written, err
+			}
+		}
+	}
+	var foot [4]byte
+	binary.LittleEndian.PutUint32(foot[:], sum.Sum32())
+	if n, err := bw.Write(foot[:]); err != nil {
+		return written + int64(n), err
+	}
+	written += 4
+	return written, bw.Flush()
+}
+
+// ReadFrom deserializes a decision trace from r, replacing t's contents.
+func (t *DecisionTrace) ReadFrom(r io.Reader) (int64, error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	sum := crc32.NewIEEE()
+	var read int64
+	var m [4]byte
+	if _, err := io.ReadFull(br, m[:]); err != nil {
+		return read, fmt.Errorf("scenario: truncated header: %w", err)
+	}
+	read += 4
+	if m != magicFSD1 {
+		return read, ErrBadDecisionMagic
+	}
+	sum.Write(m[:])
+	var hdr [12]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return read, fmt.Errorf("scenario: truncated header: %w", err)
+	}
+	read += 12
+	sum.Write(hdr[:])
+	parts := binary.LittleEndian.Uint32(hdr[0:4])
+	count := binary.LittleEndian.Uint64(hdr[4:12])
+	if parts == 0 || parts > 1<<20 {
+		return read, fmt.Errorf("scenario: implausible partition count %d", parts)
+	}
+	const maxDecisions = 1 << 32
+	if count > maxDecisions {
+		return read, fmt.Errorf("scenario: implausible decision count %d", count)
+	}
+	capHint := count
+	if capHint > decAllocChunk {
+		capHint = decAllocChunk
+	}
+	t.Parts = parts
+	t.Decisions = make([]Decision, 0, capHint)
+	var head [decHeadSize]byte
+	var cand [decCandSize]byte
+	for i := uint64(0); i < count; i++ {
+		if _, err := io.ReadFull(br, head[:]); err != nil {
+			return read, fmt.Errorf("scenario: truncated at decision %d: %w", i, err)
+		}
+		read += decHeadSize
+		sum.Write(head[:])
+		d := Decision{
+			Seq:        binary.LittleEndian.Uint64(head[0:8]),
+			InsertPart: binary.LittleEndian.Uint32(head[8:12]),
+			Victim:     binary.LittleEndian.Uint16(head[12:14]),
+		}
+		switch head[14] {
+		case 0:
+		case 1:
+			d.Forced = true
+		default:
+			return read, fmt.Errorf("scenario: decision %d has undefined flags %#x", i, head[14])
+		}
+		ncand := int(binary.LittleEndian.Uint16(head[15:17]))
+		if ncand == 0 {
+			return read, fmt.Errorf("scenario: decision %d has no candidates", i)
+		}
+		if int(d.Victim) >= ncand {
+			return read, fmt.Errorf("scenario: decision %d victim %d out of %d candidates", i, d.Victim, ncand)
+		}
+		if d.InsertPart >= parts {
+			return read, fmt.Errorf("scenario: decision %d insert partition %d out of %d", i, d.InsertPart, parts)
+		}
+		d.Cands = make([]DecisionCand, ncand)
+		for j := 0; j < ncand; j++ {
+			if _, err := io.ReadFull(br, cand[:]); err != nil {
+				return read, fmt.Errorf("scenario: truncated at decision %d candidate %d: %w", i, j, err)
+			}
+			read += decCandSize
+			sum.Write(cand[:])
+			c := &d.Cands[j]
+			c.Line = binary.LittleEndian.Uint32(cand[0:4])
+			c.Part = binary.LittleEndian.Uint32(cand[4:8])
+			c.Raw = binary.LittleEndian.Uint64(cand[8:16])
+			c.Futility = math.Float64frombits(binary.LittleEndian.Uint64(cand[16:24]))
+			c.Alpha = math.Float64frombits(binary.LittleEndian.Uint64(cand[24:32]))
+			c.Actual = int32(binary.LittleEndian.Uint32(cand[32:36]))
+			c.Target = int32(binary.LittleEndian.Uint32(cand[36:40]))
+			if c.Part >= parts {
+				return read, fmt.Errorf("scenario: decision %d candidate %d partition %d out of %d", i, j, c.Part, parts)
+			}
+		}
+		t.Decisions = append(t.Decisions, d)
+	}
+	var foot [4]byte
+	if _, err := io.ReadFull(br, foot[:]); err != nil {
+		return read, fmt.Errorf("scenario: truncated checksum footer: %w", err)
+	}
+	read += 4
+	if want := binary.LittleEndian.Uint32(foot[:]); want != sum.Sum32() {
+		return read, fmt.Errorf("%w (footer %08x, payload %08x)", ErrBadDecisionCRC, want, sum.Sum32())
+	}
+	return read, nil
+}

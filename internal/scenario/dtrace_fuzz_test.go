@@ -1,0 +1,70 @@
+package scenario
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+)
+
+// FuzzDecisionTrace exercises the FSD1 decoder against arbitrary byte
+// streams: it must never panic or over-allocate, and anything it accepts
+// must re-encode byte-identically to the consumed prefix. That totality
+// property is what makes the strict validation in ReadFrom trustworthy —
+// every accepted file is exactly one canonical encoding of its value.
+func FuzzDecisionTrace(f *testing.F) {
+	var buf bytes.Buffer
+	if _, err := goldenDecisionTrace().WriteTo(&buf); err != nil {
+		f.Fatalf("corpus write: %v", err)
+	}
+	valid := buf.Bytes()
+
+	f.Add(valid) // well-formed
+	f.Add(valid[:len(valid)-3])
+	f.Add(valid[:9]) // truncated header
+	f.Add([]byte("NOPEnope"))
+
+	// Implausible decision count.
+	huge := append([]byte{}, valid[:8]...)
+	huge = append(huge, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x7f)
+	f.Add(huge)
+
+	// Plausible-but-lying count over a short body: exercises the bounded
+	// allocation path (capHint is clamped to decAllocChunk).
+	lying := append([]byte{}, valid...)
+	binary.LittleEndian.PutUint64(lying[8:16], 1<<30)
+	f.Add(lying)
+
+	// Corrupt CRC footer, and a corrupt payload byte under an intact footer.
+	badcrc := append([]byte{}, valid...)
+	badcrc[len(badcrc)-1] ^= 0x5a
+	f.Add(badcrc)
+	badbody := append([]byte{}, valid...)
+	badbody[20] ^= 0x01
+	f.Add(badbody)
+
+	// Valid file with trailing garbage: ReadFrom must stop at the footer
+	// and report only the consumed prefix.
+	f.Add(append(append([]byte{}, valid...), 0xde, 0xad, 0xbe, 0xef))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var tr DecisionTrace
+		n, err := tr.ReadFrom(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if n > int64(len(data)) {
+			t.Fatalf("ReadFrom reported %d of %d bytes", n, len(data))
+		}
+		var out bytes.Buffer
+		m, err := tr.WriteTo(&out)
+		if err != nil {
+			t.Fatalf("re-encode of accepted trace: %v", err)
+		}
+		if m != n {
+			t.Fatalf("re-encode wrote %d bytes, decode consumed %d", m, n)
+		}
+		if !bytes.Equal(out.Bytes(), data[:n]) {
+			t.Fatal("re-encode differs from the consumed prefix")
+		}
+	})
+}

@@ -1,0 +1,245 @@
+package scenario
+
+import (
+	"bytes"
+	"errors"
+	"flag"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// goldenDecisionTrace is the exact in-memory value committed as
+// testdata/golden.fsd1. Changing the FSD1 encoding in any way breaks the
+// golden comparison — which is the point: the format is versioned, so a
+// layout change must mint FSD2 rather than silently reinterpreting old
+// recordings.
+func goldenDecisionTrace() *DecisionTrace {
+	return &DecisionTrace{
+		Parts: 5,
+		Decisions: []Decision{
+			{
+				Seq: 101, InsertPart: 0, Victim: 0,
+				Cands: []DecisionCand{
+					{Line: 3, Part: 0, Raw: 42, Futility: 0.5, Alpha: 1.25, Actual: 10, Target: 8},
+				},
+			},
+			{
+				Seq: 257, InsertPart: 2, Victim: 1, Forced: true,
+				Cands: []DecisionCand{
+					{Line: 7, Part: 1, Raw: 9, Futility: 0.125, Alpha: 0.75, Actual: 4, Target: 9},
+					{Line: 15, Part: 2, Raw: 1 << 40, Futility: 1, Alpha: 1, Actual: 20, Target: 20},
+					{Line: 31, Part: 4, Raw: 0, Futility: 0, Alpha: 3.5, Actual: 0, Target: 1},
+				},
+			},
+			{
+				Seq: 1 << 33, InsertPart: 4, Victim: 1,
+				Cands: []DecisionCand{
+					{Line: 1, Part: 3, Raw: 77, Futility: 0.25, Alpha: 1, Actual: 5, Target: 5},
+					{Line: 2, Part: 4, Raw: 78, Futility: 0.26, Alpha: 1.5, Actual: 6, Target: 4},
+				},
+			},
+		},
+	}
+}
+
+const goldenPath = "testdata/golden.fsd1"
+
+// TestDecisionTraceGolden decodes the committed golden file and requires
+// both the exact in-memory value and byte-identical re-encoding. Regenerate
+// (after a deliberate, version-bumped format change) with:
+//
+//	go test ./internal/scenario -run TestDecisionTraceGolden -update-golden
+func TestDecisionTraceGolden(t *testing.T) {
+	want := goldenDecisionTrace()
+	if *updateGolden {
+		var buf bytes.Buffer
+		if _, err := want.WriteTo(&buf); err != nil {
+			t.Fatalf("encode golden: %v", err)
+		}
+		if err := os.MkdirAll(filepath.Dir(goldenPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	data, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("read golden (regenerate with -update-golden): %v", err)
+	}
+	var got DecisionTrace
+	n, err := got.ReadFrom(bytes.NewReader(data))
+	if err != nil {
+		t.Fatalf("decode golden: %v", err)
+	}
+	if n != int64(len(data)) {
+		t.Fatalf("decoded %d of %d golden bytes", n, len(data))
+	}
+	if !reflect.DeepEqual(&got, want) {
+		t.Fatalf("golden decoded to %+v, want %+v", &got, want)
+	}
+	var buf bytes.Buffer
+	if _, err := got.WriteTo(&buf); err != nil {
+		t.Fatalf("re-encode golden: %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), data) {
+		t.Fatal("re-encoded golden differs from the committed bytes")
+	}
+}
+
+// updateGolden regenerates testdata/golden.fsd1 from goldenDecisionTrace —
+// only for deliberate, version-bumped format changes.
+var updateGolden = flag.Bool("update-golden", false, "rewrite testdata/golden.fsd1 from the in-test definition")
+
+func encodeDecisionTrace(t *testing.T, tr *DecisionTrace) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if _, err := tr.WriteTo(&buf); err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	return buf.Bytes()
+}
+
+// decisionTraceLayout returns the golden trace's section boundaries for the
+// staged-error assertions: header end and records end.
+func decisionTraceLayout(tr *DecisionTrace) (headerEnd, recordsEnd int) {
+	headerEnd = 4 + 12 // magic + parts + count
+	recordsEnd = headerEnd
+	for i := range tr.Decisions {
+		recordsEnd += decHeadSize + decCandSize*len(tr.Decisions[i].Cands)
+	}
+	return headerEnd, recordsEnd
+}
+
+// TestDecisionTraceTruncationEveryOffset cuts the encoding at every byte
+// offset and requires the staged, descriptive error for the stage the cut
+// lands in — never a panic, never a silently short trace. This mirrors
+// internal/trace's torn-write sweep for the access-trace format.
+func TestDecisionTraceTruncationEveryOffset(t *testing.T) {
+	tr := goldenDecisionTrace()
+	full := encodeDecisionTrace(t, tr)
+	headerEnd, recordsEnd := decisionTraceLayout(tr)
+	if want := recordsEnd + 4; len(full) != want {
+		t.Fatalf("encoded %d bytes, want %d", len(full), want)
+	}
+	for cut := 0; cut < len(full); cut++ {
+		var got DecisionTrace
+		_, err := got.ReadFrom(bytes.NewReader(full[:cut]))
+		if err == nil {
+			t.Fatalf("cut=%d: truncated file decoded without error", cut)
+		}
+		var wantStage string
+		switch {
+		case cut < headerEnd:
+			wantStage = "truncated header"
+		case cut < recordsEnd:
+			wantStage = "truncated at decision"
+		default:
+			wantStage = "truncated checksum footer"
+		}
+		if !strings.Contains(err.Error(), wantStage) {
+			t.Fatalf("cut=%d: error %q does not name stage %q", cut, err, wantStage)
+		}
+	}
+}
+
+// TestDecisionTraceBitFlipEveryBit flips every single bit of a complete
+// file and requires an error each time. Magic flips must read as
+// not-a-decision-trace. Flips elsewhere must fail one way or another —
+// either a structural validation error during streaming decode (flags,
+// victim bounds, partition bounds, candidate counts) or, when the flipped
+// value still parses, the CRC footer; a clean decode is the only forbidden
+// outcome.
+func TestDecisionTraceBitFlipEveryBit(t *testing.T) {
+	tr := goldenDecisionTrace()
+	full := encodeDecisionTrace(t, tr)
+	_, recordsEnd := decisionTraceLayout(tr)
+	for off := 0; off < len(full); off++ {
+		for bit := 0; bit < 8; bit++ {
+			flipped := append([]byte(nil), full...)
+			flipped[off] ^= 1 << bit
+			var got DecisionTrace
+			_, err := got.ReadFrom(bytes.NewReader(flipped))
+			if err == nil {
+				t.Fatalf("off=%d bit=%d: corrupt file decoded without error", off, bit)
+			}
+			if off < 4 && !errors.Is(err, ErrBadDecisionMagic) {
+				t.Fatalf("off=%d bit=%d: magic flip got %v, want ErrBadDecisionMagic", off, bit, err)
+			}
+			// A flip in the footer itself cannot trip validation (the whole
+			// payload already decoded), so it must surface as exactly a CRC
+			// mismatch.
+			if off >= recordsEnd && !errors.Is(err, ErrBadDecisionCRC) {
+				t.Fatalf("off=%d bit=%d: footer flip got %v, want ErrBadDecisionCRC", off, bit, err)
+			}
+		}
+	}
+}
+
+// TestDecisionTraceRoundTrip pins WriteTo/ReadFrom as exact inverses,
+// including float bit patterns and the reported byte counts.
+func TestDecisionTraceRoundTrip(t *testing.T) {
+	tr := goldenDecisionTrace()
+	full := encodeDecisionTrace(t, tr)
+	var got DecisionTrace
+	n, err := got.ReadFrom(bytes.NewReader(full))
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if n != int64(len(full)) {
+		t.Fatalf("ReadFrom reported %d bytes, file has %d", n, len(full))
+	}
+	if !reflect.DeepEqual(&got, tr) {
+		t.Fatalf("round trip: got %+v, want %+v", &got, tr)
+	}
+}
+
+// TestDecisionTraceEncodeRejects pins the encoder's own validation: traces
+// that could not round-trip (no candidates, out-of-range victim) are
+// refused at write time rather than producing an undecodable file.
+func TestDecisionTraceEncodeRejects(t *testing.T) {
+	var buf bytes.Buffer
+	empty := &DecisionTrace{Parts: 2, Decisions: []Decision{{Victim: 0}}}
+	if _, err := empty.WriteTo(&buf); err == nil {
+		t.Error("encoder accepted a decision with no candidates")
+	}
+	bad := &DecisionTrace{Parts: 2, Decisions: []Decision{{
+		Victim: 1,
+		Cands:  []DecisionCand{{Part: 0}},
+	}}}
+	buf.Reset()
+	if _, err := bad.WriteTo(&buf); err == nil {
+		t.Error("encoder accepted victim index past the candidate list")
+	}
+}
+
+// TestDecisionTraceDecodeRejects exercises the decoder's structural
+// validation with hand-corrupted files where the CRC is recomputed to
+// match, so the structural check — not the checksum — must catch each one.
+func TestDecisionTraceDecodeRejects(t *testing.T) {
+	// The encoder accepts these mutations (it only validates candidate
+	// counts and victim bounds), so the decoder's structural checks — not
+	// the checksum, which is recomputed over the mutated payload — must
+	// catch each one.
+	corrupt := func(name string, mutate func(*DecisionTrace)) {
+		tr := goldenDecisionTrace()
+		mutate(tr)
+		var buf bytes.Buffer
+		if _, err := tr.WriteTo(&buf); err != nil {
+			t.Fatalf("%s: encoder rejected the mutation: %v", name, err)
+		}
+		var got DecisionTrace
+		if _, err := got.ReadFrom(bytes.NewReader(buf.Bytes())); err == nil {
+			t.Errorf("%s: decoder accepted structurally invalid file", name)
+		}
+	}
+	corrupt("insert partition out of range", func(tr *DecisionTrace) {
+		tr.Decisions[0].InsertPart = tr.Parts
+	})
+	corrupt("candidate partition out of range", func(tr *DecisionTrace) {
+		tr.Decisions[0].Cands[0].Part = tr.Parts + 3
+	})
+}

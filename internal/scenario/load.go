@@ -1,0 +1,78 @@
+package scenario
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Loaded pairs a parsed spec with the directory its relative trace paths
+// resolve against (the spec file's own directory).
+type Loaded struct {
+	Spec *Spec
+	Dir  string
+}
+
+// LoadSpecs reads one spec file, or every *.yaml/*.yml/*.json spec in a
+// directory (sorted by file name). Specs without an explicit name are
+// named after their file's base name.
+func LoadSpecs(path string) ([]Loaded, error) {
+	info, err := os.Stat(path)
+	if err != nil {
+		return nil, err
+	}
+	var files []string
+	if info.IsDir() {
+		entries, err := os.ReadDir(path)
+		if err != nil {
+			return nil, err
+		}
+		for _, e := range entries {
+			if e.IsDir() {
+				continue
+			}
+			switch filepath.Ext(e.Name()) {
+			case ".yaml", ".yml", ".json":
+				files = append(files, filepath.Join(path, e.Name()))
+			}
+		}
+		sort.Strings(files)
+		if len(files) == 0 {
+			return nil, fmt.Errorf("scenario: no *.yaml, *.yml or *.json specs in %s", path)
+		}
+	} else {
+		files = []string{path}
+	}
+	out := make([]Loaded, 0, len(files))
+	for _, f := range files {
+		data, err := os.ReadFile(f)
+		if err != nil {
+			return nil, err
+		}
+		base := strings.TrimSuffix(filepath.Base(f), filepath.Ext(f))
+		spec, err := Parse(data, base)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, Loaded{Spec: spec, Dir: filepath.Dir(f)})
+	}
+	return out, nil
+}
+
+// LoadSpec reads exactly one spec file.
+func LoadSpec(path string) (Loaded, error) {
+	info, err := os.Stat(path)
+	if err != nil {
+		return Loaded{}, err
+	}
+	if info.IsDir() {
+		return Loaded{}, fmt.Errorf("scenario: %s is a directory, want one spec file", path)
+	}
+	ls, err := LoadSpecs(path)
+	if err != nil {
+		return Loaded{}, err
+	}
+	return ls[0], nil
+}

@@ -1,0 +1,101 @@
+package scenario
+
+import (
+	"fscache/internal/core"
+)
+
+// AlphaSource exposes live per-partition scaling factors; core.FSFeedback
+// and core.FSFixed implement it. Schemes without scaling factors record
+// alpha = 1 for every candidate.
+type AlphaSource interface {
+	Alphas() []float64
+}
+
+// Recorder captures a live cache's replacement decisions into a
+// DecisionTrace via the core.DecisionObserver hook. Each observed decision
+// snapshots, per candidate, every operand any supported scheme ranks by —
+// raw futility, reference futility, the partition's scaling factor, and
+// the partition's actual/target sizes — all read at decision time (the
+// observer fires after the scheme decides but before the eviction is
+// applied, so actual sizes are pre-decrement and alphas are exactly what
+// Decide multiplied by).
+//
+// The recorder appends into retained, geometrically grown buffers, keeping
+// the miss path's steady-state no-allocation contract once the buffers
+// have grown to the run's high-water mark.
+type Recorder struct {
+	cache  *core.Cache
+	alphas AlphaSource
+	max    int
+
+	trace   DecisionTrace
+	candBuf []DecisionCand
+	skipped uint64
+}
+
+// NewRecorder builds a recorder for cache. alphas may be nil (alpha is
+// then recorded as 1). maxDecisions bounds memory: once that many
+// decisions are held, further ones are counted but dropped (0 means
+// unbounded). Install the observer with
+// cache.SetDecisionObserver(r.Observe).
+func NewRecorder(cache *core.Cache, alphas AlphaSource, maxDecisions int) *Recorder {
+	return &Recorder{
+		cache:  cache,
+		alphas: alphas,
+		max:    maxDecisions,
+		trace:  DecisionTrace{Parts: uint32(cache.Parts())},
+	}
+}
+
+// Observe implements core.DecisionObserver.
+func (r *Recorder) Observe(cands []core.Candidate, insertPart, victim int, forced bool) {
+	if r.max > 0 && len(r.trace.Decisions) >= r.max {
+		r.skipped++
+		return
+	}
+	var alphas []float64
+	if r.alphas != nil {
+		alphas = r.alphas.Alphas()
+	}
+	sizes := r.cache.Sizes()
+	targets := r.cache.Targets()
+	start := len(r.candBuf)
+	for i := range cands {
+		cd := &cands[i]
+		alpha := 1.0
+		if alphas != nil {
+			alpha = alphas[cd.Part]
+		}
+		r.candBuf = append(r.candBuf, DecisionCand{
+			Line:     uint32(cd.Line),
+			Part:     uint32(cd.Part),
+			Raw:      cd.Raw,
+			Futility: cd.Futility,
+			Alpha:    alpha,
+			Actual:   int32(sizes[cd.Part]),
+			Target:   int32(targets[cd.Part]),
+		})
+	}
+	// Full slice expression: a grown candBuf must never alias an already
+	// recorded decision's candidate list.
+	r.trace.Decisions = append(r.trace.Decisions, Decision{
+		Seq:        r.cache.Accesses(),
+		InsertPart: uint32(insertPart),
+		Victim:     uint16(victim),
+		Forced:     forced,
+		Cands:      r.candBuf[start:len(r.candBuf):len(r.candBuf)],
+	})
+}
+
+// Trace returns the recorded trace (live; stable once recording stops).
+func (r *Recorder) Trace() *DecisionTrace { return &r.trace }
+
+// Skipped reports decisions dropped by the maxDecisions bound.
+func (r *Recorder) Skipped() uint64 { return r.skipped }
+
+// Reset drops all recorded decisions (the bound and wiring stay).
+func (r *Recorder) Reset() {
+	r.trace.Decisions = r.trace.Decisions[:0]
+	r.candBuf = r.candBuf[:0]
+	r.skipped = 0
+}

