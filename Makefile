@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test race lint check fmt fuzz smoke scenarios bench benchjson bench-gate cover soak load serve netsoak
+.PHONY: build test race lint check fmt fuzz smoke scenarios alloc bench benchjson bench-gate cover soak load serve netsoak
 
 build:
 	$(GO) build ./...
@@ -48,6 +48,16 @@ smoke:
 # divergence; fstables exits non-zero if it does not.
 scenarios:
 	$(GO) run ./cmd/fstables -scenario examples/scenarios
+
+# Online-allocation smoke (DESIGN.md §17): the measurement→targets loop on
+# two committed specs — a mid-run phase change (zipf-drift) and tenant
+# arrival/departure (tenant-churn). RunScenarioAlloc exits non-zero when any
+# epoch's targets break the per-partition floors or the line budget, or when
+# the allocator's aggregate miss ratio diverges above the static split's by
+# more than the gate margin.
+alloc:
+	$(GO) run ./cmd/fstables -scenario examples/scenarios/zipf-drift.yaml -alloc phase
+	$(GO) run ./cmd/fstables -scenario examples/scenarios/tenant-churn.yaml -alloc utility
 
 # Hot-path microbenchmarks with allocation counts (go test -bench form).
 bench:

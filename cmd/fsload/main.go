@@ -31,6 +31,14 @@
 // applied by worker 0 as live SetTargets updates racing the rebalancer —
 // the concurrent counterpart of the deterministic fstables -scenario run.
 //
+// With -alloc, the initial targets only seed the run: every worker feeds
+// the online allocator (internal/alloc), whose epoch decisions reach the
+// engine through the rebalancer tick, and scenario churn vectors are
+// ignored (the allocator notices departed tenants through decayed samples).
+// Combine with -scenario to watch targets track workload phases:
+//
+//	fsload -scenario examples/scenarios/zipf-drift.yaml -alloc utility
+//
 // The -procs sweep runs one fresh engine per GOMAXPROCS setting and emits a
 // single throughput/latency row per setting plus the speedup relative to
 // the first setting — the data for the scaling curve in one invocation.
@@ -58,6 +66,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"fscache/internal/alloc"
 	"fscache/internal/core"
 	"fscache/internal/futility"
 	"fscache/internal/scenario"
@@ -98,6 +107,7 @@ func main() {
 		rebalance = flag.Duration("rebalance", 250*time.Millisecond, "interval between target redistributions")
 		maxOcc    = flag.Float64("maxocc", -1, "fail (exit 1) when the worst occupancy error exceeds this fraction; <0 disables")
 		scen      = flag.String("scenario", "", "drive workers from this scenario spec file (overrides -lines/-ways/-parts and the synthetic address mix)")
+		allocFl   = flag.String("alloc", "", "drive targets with the online allocator under this objective (utility|maxmin|phase; plus qos with -scenario) instead of the static split")
 
 		netAddr   = flag.String("net", "", "network mode: drive the fsserve instance at this host:port instead of an in-process engine")
 		setFrac   = flag.Float64("setfrac", 0.3, "net: fraction of requests that are SETs")
@@ -119,6 +129,9 @@ func main() {
 	if *netAddr != "" {
 		if *scen != "" {
 			fail("-scenario drives the in-process engine; it cannot be combined with -net (give the spec to fsserve instead)")
+		}
+		if *allocFl != "" {
+			fail("-alloc drives the in-process engine; it cannot be combined with -net (give -alloc to fsserve instead)")
 		}
 		if *setFrac < 0 || *setFrac >= 1 || *keySpace < 1 {
 			fail("need 0 <= -setfrac < 1 and -keys >= 1")
@@ -173,6 +186,20 @@ func main() {
 		opts.parts = comp.Parts()
 		fmt.Printf("fsload: scenario %s (%d clients, %d partitions)\n", ls.Spec.Name, len(comp.Clients), opts.parts)
 	}
+	opts.allocObj = *allocFl
+	if *allocFl != "" {
+		// Validate the objective up front so a sweep fails before its first
+		// row rather than mid-run inside runLocal.
+		var err error
+		if opts.comp != nil {
+			_, err = opts.comp.AllocObjective(*allocFl)
+		} else {
+			_, err = alloc.ByName(*allocFl)
+		}
+		if err != nil {
+			fail(err.Error())
+		}
+	}
 
 	if *procsList != "" {
 		runSweep(opts, parseProcs(*procsList), *maxOcc)
@@ -198,6 +225,37 @@ func main() {
 		fmt.Printf("  %-10d %8d %10.1f %9.1f%% %8.4f %10.4f\n",
 			p, r.targets[p], r.occ[p], 100*r.occErr[p], r.snap.Parts[p].MissRate(), r.snap.Parts[p].AEF())
 	}
+	if *allocFl != "" {
+		reallocs, drifts := 0, 0
+		for _, d := range r.decisions {
+			if d.Changed {
+				reallocs++
+			}
+			if d.Drift {
+				drifts++
+			}
+		}
+		fmt.Printf("\n  alloc %s: %d epochs, %d reallocations, %d drift epochs, %d installs\n",
+			*allocFl, r.epochs, reallocs, drifts, r.installs)
+		tail := r.decisions
+		const maxShown = 8
+		if len(tail) > maxShown {
+			fmt.Printf("  … %d earlier decisions elided; last %d (drift *, changed !):\n", len(tail)-maxShown, maxShown)
+			tail = tail[len(tail)-maxShown:]
+		}
+		for _, d := range tail {
+			mark, ch := " ", " "
+			if d.Drift {
+				mark = "*"
+			}
+			if d.Changed {
+				ch = "!"
+			}
+			fmt.Printf("   %s%s e%-4d @%-10d div %.3f miss %.4f  %v\n",
+				mark, ch, d.Epoch, d.Access, d.Divergence, d.MissRatio, d.Targets)
+		}
+	}
+
 	fmt.Printf("\n  worst occupancy error: %.1f%%\n", 100*r.worst)
 	if *maxOcc >= 0 && r.worst > *maxOcc {
 		fail(fmt.Sprintf("worst occupancy error %.1f%% exceeds -maxocc %.1f%%", 100*r.worst, 100**maxOcc))
@@ -214,6 +272,11 @@ type localOpts struct {
 	// scenario streams (one decorrelated interleaving per worker) and the
 	// index-proportional targets with the spec's shares.
 	comp *scenario.Compiled
+	// allocObj, when non-empty, names the online allocation objective: every
+	// worker feeds the allocator, the rebalancer installs its epoch targets,
+	// and static targets (and scenario churn vectors) are ignored after the
+	// initial split.
+	allocObj string
 }
 
 // localResult is everything the reports need from one run.
@@ -228,6 +291,12 @@ type localResult struct {
 	occErr     []float64
 	worst      float64
 	snap       core.Snapshot
+	// installs and decisions report the online allocator's activity when
+	// -alloc is set: rebalancer target installs, epochs closed, and the
+	// retained decision log (oldest first).
+	installs  uint64
+	epochs    int
+	decisions []alloc.Decision
 }
 
 // runLocal builds a fresh engine, hammers it with opts.workers goroutines
@@ -258,6 +327,16 @@ func runLocal(opts localOpts) localResult {
 		targets = apportionInts(opts.lines, weights)
 	}
 	e.SetTargets(targets)
+
+	// With -alloc, an online allocator samples every worker's accesses and
+	// its epoch targets reach the engine through the rebalancer tick; the
+	// static split above only seeds the first epoch.
+	var a *alloc.Allocator
+	var src shardcache.TargetSource
+	if opts.allocObj != "" {
+		a = newLoadAllocator(opts, targets)
+		src = a
+	}
 
 	var stop atomic.Bool
 	var wg sync.WaitGroup
@@ -297,6 +376,11 @@ func runLocal(opts localOpts) localResult {
 					// by its size, recorded once per request for comparable
 					// quantiles against the unbatched path.
 					lat := time.Since(t0) / time.Duration(opts.batch)
+					if a != nil {
+						for i := range reqs {
+							a.Observe(reqs[i].Part, reqs[i].Addr)
+						}
+					}
 					s := float64(lat) / float64(latCap)
 					for range reqs {
 						w.hist.Add(s)
@@ -310,12 +394,15 @@ func runLocal(opts localOpts) localResult {
 				t0 := time.Now()
 				e.Access(addr, part)
 				lat := time.Since(t0)
+				if a != nil {
+					a.Observe(part, addr)
+				}
 				w.hist.Add(float64(lat) / float64(latCap))
 				w.ops++
 			}
 		}(w)
 	}
-	rb := e.StartRebalancer(opts.rebalance)
+	rb := e.StartRebalancerSource(opts.rebalance, src)
 
 	time.Sleep(opts.duration)
 	stop.Store(true)
@@ -336,9 +423,15 @@ func runLocal(opts localOpts) localResult {
 		occErr:     make([]float64, opts.parts),
 		snap:       e.Snapshot(),
 	}
-	if opts.comp != nil {
-		// Scenario churn may have retargeted partitions mid-run; report
-		// occupancy error against the targets the engine actually holds.
+	if a != nil {
+		r.installs = rb.Installs()
+		r.epochs = a.Epoch()
+		r.decisions, _ = a.Log()
+	}
+	if opts.comp != nil || a != nil {
+		// Scenario churn or the online allocator may have retargeted
+		// partitions mid-run; report occupancy error against the targets the
+		// engine actually holds.
 		for p := 0; p < opts.parts; p++ {
 			r.targets[p] = r.snap.Parts[p].Target
 		}
@@ -365,12 +458,39 @@ func runLocal(opts localOpts) localResult {
 	return r
 }
 
+// newLoadAllocator builds the online allocator for one run. Scenario runs
+// take the spec-derived configuration (objective, floors, epoch length);
+// synthetic runs use the alloc package defaults over the flag geometry. The
+// objective name was validated in main, so failures here are config bugs.
+func newLoadAllocator(opts localOpts, initial []int) *alloc.Allocator {
+	if opts.comp != nil {
+		cfg, err := opts.comp.AllocConfig(opts.allocObj)
+		if err != nil {
+			fail(err.Error())
+		}
+		return alloc.New(cfg)
+	}
+	obj, err := alloc.ByName(opts.allocObj)
+	if err != nil {
+		fail(err.Error())
+	}
+	return alloc.New(alloc.Config{
+		Parts:     opts.parts,
+		Lines:     opts.lines,
+		Objective: obj,
+		Initial:   append([]int(nil), initial...),
+		Seed:      opts.seed,
+	})
+}
+
 // scenarioFeed returns a worker's address source for scenario mode: its own
 // re-seeded interleaving of the compiled stream, cycled for the whole run
 // (one pass covers spec.Accesses operations; wall-clock runs keep going).
 // Worker 0 doubles as the churn driver, applying tenant-churn target vectors
 // to the live engine as its stream reaches them; other workers skip churn
-// ops so the target vector has a single writer besides the rebalancer.
+// ops so the target vector has a single writer besides the rebalancer. With
+// -alloc, churn vectors are dropped entirely: the allocator is the sole
+// target authority and notices departed tenants through decayed samples.
 func scenarioFeed(e *shardcache.Engine, opts localOpts, id int) func() (uint64, int) {
 	seed := func(epoch uint64) uint64 {
 		return xrand.Mix64(opts.comp.Spec.Seed ^ uint64(id+1)*0x9e3779b97f4a7c15 ^ epoch*0xbf58476d1ce4e5b9)
@@ -386,7 +506,7 @@ func scenarioFeed(e *shardcache.Engine, opts localOpts, id int) func() (uint64, 
 				continue
 			}
 			if op.Kind == scenario.OpChurn {
-				if id == 0 {
+				if id == 0 && opts.allocObj == "" {
 					e.SetTargets(op.Targets)
 				}
 				continue

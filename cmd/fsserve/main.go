@@ -24,6 +24,12 @@
 // geometry from its cache block. The same spec then drives matched load
 // via fsload -scenario or the offline fstables -scenario comparison.
 //
+// With -alloc, the static split only seeds the engine: every request's
+// engine access feeds the online allocator (internal/alloc) and its epoch
+// targets are installed by the rebalancer tick, so tenant capacity follows
+// the measured miss-ratio curves instead of the configured shares. The
+// drain summary and the OpStats payload report the install count.
+//
 // Examples:
 //
 //	fsserve -addr 127.0.0.1:7070
@@ -43,6 +49,7 @@ import (
 	"syscall"
 	"time"
 
+	"fscache/internal/alloc"
 	"fscache/internal/faultinject"
 	"fscache/internal/futility"
 	"fscache/internal/scenario"
@@ -69,6 +76,7 @@ func main() {
 		faultseed = flag.Uint64("faultseed", 2026, "fault injector seed")
 		quiet     = flag.Bool("quiet", false, "suppress operational logging")
 		scen      = flag.String("scenario", "", "derive tenants, targets and cache geometry from this scenario spec file (overrides -tenants/-targets/-lines/-ways)")
+		allocFl   = flag.String("alloc", "", "drive targets with the online allocator under this objective (utility|maxmin|phase; plus qos with -scenario) instead of the static split")
 	)
 	flag.Parse()
 
@@ -82,8 +90,9 @@ func main() {
 			fail(err.Error())
 		}
 	}
+	var comp *scenario.Compiled
 	if *scen != "" {
-		if tcs, tgt, err = scenarioTopology(*scen, lines, ways); err != nil {
+		if comp, tcs, tgt, err = scenarioTopology(*scen, lines, ways); err != nil {
 			fail(err.Error())
 		}
 	}
@@ -108,6 +117,18 @@ func main() {
 		cfg.Logf = func(format string, args ...interface{}) {
 			fmt.Fprintf(os.Stderr, format+"\n", args...)
 		}
+	}
+	if *allocFl != "" {
+		a, err := buildAllocator(*allocFl, comp, tcs, tgt, *lines, *seed)
+		if err != nil {
+			fail(err.Error())
+		}
+		if *rebalance <= 0 {
+			fail("-alloc needs -rebalance > 0: the rebalancer tick is what installs the allocator's targets")
+		}
+		cfg.TargetSource = a
+		cfg.Observe = a.Observe
+		fmt.Fprintf(os.Stderr, "fsserve: online %s allocation armed (epoch targets install on the %v rebalance tick)\n", *allocFl, *rebalance)
 	}
 	srv, err := server.New(cfg)
 	if err != nil {
@@ -144,6 +165,10 @@ func main() {
 	fmt.Fprintf(os.Stderr,
 		"fsserve: served %d conn(s), %d store entries (%d bytes), %d bad frames, %d slow clients, %d panics\n",
 		snap.Accepted, snap.StoreEntries, snap.StoreBytes, snap.BadFrames, snap.SlowClients, snap.Panics)
+	if *allocFl != "" {
+		fmt.Fprintf(os.Stderr, "fsserve: alloc %s: %d target installs over %d rebalances\n",
+			*allocFl, snap.TargetInstalls, snap.Rebalances)
+	}
 	for i, t := range snap.Tenants {
 		fmt.Fprintf(os.Stderr,
 			"fsserve: tenant %d (%s): admitted %d, shed %d, stale %d, rejected %d, deadlined %d\n",
@@ -159,14 +184,14 @@ func main() {
 // class from the client's class field, line targets from the spec's shares
 // over the initially-live set, cache geometry from the spec's cache block
 // (written through lines/ways).
-func scenarioTopology(path string, lines, ways *int) ([]server.TenantConfig, []int, error) {
+func scenarioTopology(path string, lines, ways *int) (*scenario.Compiled, []server.TenantConfig, []int, error) {
 	ls, err := scenario.LoadSpec(path)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 	comp, err := scenario.Compile(ls.Spec, ls.Dir)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 	*lines = ls.Spec.Cache.Lines
 	*ways = ls.Spec.Cache.Ways
@@ -177,7 +202,36 @@ func scenarioTopology(path string, lines, ways *int) ([]server.TenantConfig, []i
 			tcs[i].Class = server.BestEffort
 		}
 	}
-	return tcs, comp.Targets(*lines, comp.InitialLive()), nil
+	return comp, tcs, comp.Targets(*lines, comp.InitialLive()), nil
+}
+
+// buildAllocator constructs the online allocator behind -alloc. Scenario
+// servers take the spec-derived configuration (objective, floors, epoch
+// length); flag-configured servers use the alloc package defaults over the
+// flag geometry, seeded from the static split so the first epoch matches
+// what the engine starts with.
+func buildAllocator(objective string, comp *scenario.Compiled, tcs []server.TenantConfig, tgt []int, lines int, seed uint64) (*alloc.Allocator, error) {
+	if comp != nil {
+		cfg, err := comp.AllocConfig(objective)
+		if err != nil {
+			return nil, err
+		}
+		return alloc.New(cfg), nil
+	}
+	obj, err := alloc.ByName(objective)
+	if err != nil {
+		return nil, err
+	}
+	if tgt != nil && len(tgt) != len(tcs) {
+		return nil, fmt.Errorf("-targets has %d entries for %d tenants", len(tgt), len(tcs))
+	}
+	return alloc.New(alloc.Config{
+		Parts:     len(tcs),
+		Lines:     lines,
+		Objective: obj,
+		Initial:   append([]int(nil), tgt...),
+		Seed:      seed,
+	}), nil
 }
 
 // parseTenants parses "g:5000,b:2000:300,b" into tenant configs.

@@ -49,6 +49,7 @@ func main() {
 		journal = flag.String("journal", "fstables.journal", "completion journal used by -resume")
 		panicID = flag.String("panic", "", "make the named experiment panic (harness self-test)")
 		scen    = flag.String("scenario", "", "scenario spec file or directory; replaces the experiment registry")
+		allocFl = flag.String("alloc", "", "with -scenario: drive targets with the online allocator under this objective (utility|maxmin|qos|phase) and compare against the static split")
 	)
 	prof := profiling.Register()
 	flag.Parse()
@@ -91,6 +92,20 @@ func main() {
 			ls := ls
 			if *seed != 0 {
 				ls.Spec.Seed = *seed
+			}
+			if *allocFl != "" {
+				runners = append(runners, experiments.Runner{
+					ID:   "alloc:" + ls.Spec.Name,
+					Desc: fmt.Sprintf("scenario %s: online %s allocation vs static targets", ls.Spec.Name, *allocFl),
+					Run: func(experiments.Scale) experiments.Printable {
+						res, err := experiments.RunScenarioAlloc(ls.Spec, ls.Dir, *allocFl)
+						if err != nil {
+							panic("fstables: " + err.Error())
+						}
+						return res
+					},
+				})
+				continue
 			}
 			runners = append(runners, experiments.Runner{
 				ID:   "scenario:" + ls.Spec.Name,

@@ -1,0 +1,421 @@
+package alloc
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"fscache/internal/xrand"
+)
+
+// Config sizes an Allocator. Zero values get sensible defaults in New.
+type Config struct {
+	// Parts is the number of partitions (required, positive).
+	Parts int
+	// Lines is the total cache capacity in lines (required, positive).
+	Lines int
+	// ChunkLines is the allocation granularity in lines (default
+	// max(Lines/64, 1)).
+	ChunkLines int
+	// EpochAccesses is the number of observed accesses per reallocation
+	// epoch (default 8×Lines).
+	EpochAccesses int
+	// SampleShift selects the 1/2^SampleShift spatial sampling rate shared
+	// by every partition's profiler (default 3, i.e. 1/8).
+	SampleShift uint
+	// TagsPerPart bounds each profiler's shadow-tag count (default sized so
+	// each curve resolves to 2×Lines estimated lines, at least 64 tags).
+	TagsPerPart int
+	// MinLines is the per-live-partition floor handed to the objective as
+	// minimum chunks (default ChunkLines). Must satisfy
+	// Parts×ceil(MinLines/ChunkLines) ≤ Lines/ChunkLines chunks.
+	MinLines int
+	// Objective picks targets from the epoch curves (default MaxHits).
+	Objective Objective
+	// DriftThreshold labels a decision as drift when the epoch-over-epoch
+	// curve Divergence exceeds it (default 0.02). Purely diagnostic here;
+	// PhaseAdaptive carries its own threshold for gating.
+	DriftThreshold float64
+	// LogCap bounds the retained decision log (default 256; older entries
+	// are dropped).
+	LogCap int
+	// Initial optionally sets the targets reported before the first epoch
+	// closes (default even split of Lines over Parts).
+	Initial []int
+	// Seed drives the sampling salt and profiler tree seeds.
+	Seed uint64
+}
+
+// Decision records one epoch boundary: what the allocator saw and what it
+// installed. Slices are private copies.
+type Decision struct {
+	// Epoch is the 1-based epoch index.
+	Epoch int
+	// Access is the cumulative observed access count at the boundary.
+	Access uint64
+	// Targets is the per-partition line allocation in force after the
+	// decision.
+	Targets []int
+	// Changed reports whether Targets differs from the previous epoch's.
+	Changed bool
+	// Divergence is the curve Divergence versus the previous epoch.
+	Divergence float64
+	// Drift reports Divergence > the configured threshold.
+	Drift bool
+	// MissRatio is the estimated aggregate miss ratio at the installed
+	// targets (access-weighted over live partitions).
+	MissRatio float64
+}
+
+// Allocator closes the measurement→targets loop online: every observed
+// access feeds a per-partition sampled profiler, and every EpochAccesses
+// accesses the curves are snapshotted, the objective recomputes chunk
+// targets, the profilers decay, and the decision is logged. Observe is safe
+// for concurrent use; the unsampled fast path is one atomic add plus one
+// hash, and only sampled references (1/2^SampleShift of them) take the
+// mutex. Driven single-threaded it is fully deterministic: equal seeds and
+// access sequences give bit-identical decisions.
+//
+// All partitions share one sampling filter (same salt), the standard SHARDS
+// arrangement: the sampled address set is identical across partitions, so
+// per-partition curves are commensurable and the fast-path filter needs a
+// single hash.
+type Allocator struct {
+	cfg      Config
+	salt     uint64
+	mask     uint64
+	nChunk   int
+	minChunk []int
+
+	accesses atomic.Uint64
+	epochEnd atomic.Uint64
+	dirty    atomic.Bool
+
+	mu sync.Mutex
+	//fs:guardedby mu
+	profs []*Profiler
+	//fs:guardedby mu
+	targets []int
+	//fs:guardedby mu
+	epoch int
+	//fs:guardedby mu
+	prev *Curves
+	//fs:guardedby mu
+	log []Decision
+	//fs:guardedby mu
+	dropped uint64
+}
+
+// New builds an Allocator. It panics on non-positive Parts/Lines, on an
+// Initial vector of the wrong length, and on infeasible floors
+// (Parts×MinLines demanding more chunks than the cache holds).
+func New(cfg Config) *Allocator {
+	if cfg.Parts <= 0 {
+		panicf("Parts must be positive, got %d", cfg.Parts)
+	}
+	if cfg.Lines <= 0 {
+		panicf("Lines must be positive, got %d", cfg.Lines)
+	}
+	if cfg.ChunkLines <= 0 {
+		cfg.ChunkLines = cfg.Lines / 64
+		if cfg.ChunkLines < 1 {
+			cfg.ChunkLines = 1
+		}
+	}
+	if cfg.EpochAccesses <= 0 {
+		cfg.EpochAccesses = 8 * cfg.Lines
+	}
+	if cfg.SampleShift == 0 {
+		cfg.SampleShift = 3
+	}
+	if cfg.TagsPerPart <= 0 {
+		cfg.TagsPerPart = (2 * cfg.Lines) >> cfg.SampleShift
+		if cfg.TagsPerPart < 64 {
+			cfg.TagsPerPart = 64
+		}
+	}
+	if cfg.MinLines <= 0 {
+		cfg.MinLines = cfg.ChunkLines
+	}
+	if cfg.DriftThreshold <= 0 {
+		cfg.DriftThreshold = 0.02
+	}
+	if cfg.LogCap <= 0 {
+		cfg.LogCap = 256
+	}
+	if cfg.Objective == nil {
+		cfg.Objective = MaxHits{}
+	}
+	nChunk := cfg.Lines / cfg.ChunkLines
+	minChunk := chunksFor(cfg.MinLines, cfg.ChunkLines)
+	if cfg.Parts*minChunk > nChunk {
+		panicf("infeasible floors: %d parts × %d lines (%d chunks each) exceed %d lines (%d chunks)",
+			cfg.Parts, cfg.MinLines, minChunk, cfg.Lines, nChunk)
+	}
+	if cfg.Initial != nil && len(cfg.Initial) != cfg.Parts {
+		panicf("Initial has %d entries, want %d", len(cfg.Initial), cfg.Parts)
+	}
+
+	a := &Allocator{
+		cfg:      cfg,
+		nChunk:   nChunk,
+		minChunk: make([]int, cfg.Parts),
+		profs:    make([]*Profiler, cfg.Parts),
+		targets:  make([]int, cfg.Parts),
+	}
+	a.mu.Lock() // not yet escaped; taken for the lockcheck contract on profs/targets
+	for p := range a.profs {
+		// One shared sampling filter (cfg.Seed ⇒ same salt everywhere);
+		// each tree's shape differs only via the access sequence, which is
+		// fine — priorities only balance the treap.
+		a.profs[p] = NewProfiler(cfg.TagsPerPart, cfg.SampleShift, cfg.Seed)
+		a.minChunk[p] = minChunk
+	}
+	a.salt = a.profs[0].salt
+	a.mask = a.profs[0].mask
+	if cfg.Initial != nil {
+		copy(a.targets, cfg.Initial)
+	} else {
+		evenSplit(a.targets, cfg.Lines)
+	}
+	a.mu.Unlock()
+	a.epochEnd.Store(uint64(cfg.EpochAccesses))
+	return a
+}
+
+// Observe feeds one access into the loop. part must be in [0, Parts). Safe
+// for concurrent use; unsampled accesses never block.
+func (a *Allocator) Observe(part int, addr uint64) {
+	n := a.accesses.Add(1)
+	if xrand.Mix64(addr^a.salt)&a.mask == 0 {
+		a.mu.Lock()
+		a.profs[part].TouchSampled(addr)
+		a.mu.Unlock()
+	}
+	if n >= a.epochEnd.Load() {
+		a.closeEpoch()
+	}
+}
+
+// PollTargets returns a copy of the current targets and true the first time
+// it is called after a reallocation changed them, and (nil, false)
+// otherwise. It is the shardcache TargetSource contract: rebalancer ticks
+// poll it and install only on change.
+func (a *Allocator) PollTargets() ([]int, bool) {
+	if !a.dirty.Swap(false) {
+		return nil, false
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return append([]int(nil), a.targets...), true
+}
+
+// Targets returns a copy of the targets currently in force.
+func (a *Allocator) Targets() []int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return append([]int(nil), a.targets...)
+}
+
+// Epoch returns the number of closed epochs.
+func (a *Allocator) Epoch() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.epoch
+}
+
+// Log returns a copy of the retained decision log (oldest first) and the
+// count of older entries dropped by the LogCap bound.
+func (a *Allocator) Log() ([]Decision, uint64) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return append([]Decision(nil), a.log...), a.dropped
+}
+
+// Flush forces an epoch boundary now (e.g. at end of stream) regardless of
+// the access count since the last one.
+func (a *Allocator) Flush() {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.closeEpochLocked()
+}
+
+// closeEpoch closes the epoch if no other goroutine beat us to it.
+func (a *Allocator) closeEpoch() {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.accesses.Load() < a.epochEnd.Load() {
+		return
+	}
+	a.closeEpochLocked()
+}
+
+//fs:callerholds mu
+func (a *Allocator) closeEpochLocked() {
+	cv := a.curvesLocked()
+	div := Divergence(a.prev, cv)
+	a.prev = snapshotCurves(cv)
+
+	nLive := 0
+	for _, l := range cv.Live {
+		if l {
+			nLive++
+		}
+	}
+	changed := false
+	if nLive > 0 {
+		minChunks := make([]int, a.cfg.Parts)
+		for p := range minChunks {
+			if cv.Live[p] {
+				minChunks[p] = a.minChunk[p]
+			}
+		}
+		chunks := a.cfg.Objective.Allocate(cv, minChunks)
+		tg := a.chunksToLines(chunks, cv.Live)
+		a.checkTargets(tg, cv.Live)
+		changed = !equalInts(tg, a.targets)
+		if changed {
+			copy(a.targets, tg)
+			a.dirty.Store(true)
+		}
+	}
+
+	a.epoch++
+	d := Decision{
+		Epoch:      a.epoch,
+		Access:     a.accesses.Load(),
+		Targets:    append([]int(nil), a.targets...),
+		Changed:    changed,
+		Divergence: div,
+		Drift:      div > a.cfg.DriftThreshold,
+		MissRatio:  aggregateMissRatio(cv, a.targets),
+	}
+	if len(a.log) >= a.cfg.LogCap {
+		drop := len(a.log) - a.cfg.LogCap + 1
+		a.log = append(a.log[:0], a.log[drop:]...)
+		a.dropped += uint64(drop)
+	}
+	a.log = append(a.log, d)
+
+	for _, p := range a.profs {
+		p.Decay()
+	}
+	a.epochEnd.Store(a.accesses.Load() + uint64(a.cfg.EpochAccesses))
+}
+
+// curvesLocked snapshots every partition's hit curve on the chunk grid.
+//
+//fs:callerholds mu
+func (a *Allocator) curvesLocked() *Curves {
+	cv := &Curves{
+		Chunk:    a.cfg.ChunkLines,
+		NChunk:   a.nChunk,
+		Hits:     make([][]uint64, a.cfg.Parts),
+		Accesses: make([]uint64, a.cfg.Parts),
+		Live:     make([]bool, a.cfg.Parts),
+	}
+	for p, prof := range a.profs {
+		// The allocator's fast path never calls Touch for unsampled
+		// accesses, so the unbiased per-partition volume estimate is the
+		// sampled count scaled back by the sampling rate.
+		cv.Accesses[p] = prof.SampledCount() << prof.shift
+		cv.Live[p] = prof.SampledCount() > 0
+		h := make([]uint64, a.nChunk+1)
+		for c := 1; c <= a.nChunk; c++ {
+			h[c] = prof.HitsAt(c * a.cfg.ChunkLines)
+		}
+		cv.Hits[p] = h
+	}
+	return cv
+}
+
+// chunksToLines converts a chunk allocation to lines, handing the
+// chunk-grid remainder (Lines − NChunk×Chunk) to the live partition with
+// the largest allocation so the totals always sum to Lines.
+func (a *Allocator) chunksToLines(chunks []int, live []bool) []int {
+	out := make([]int, len(chunks))
+	big := -1
+	for p, c := range chunks {
+		out[p] = c * a.cfg.ChunkLines
+		if live[p] && (big < 0 || out[p] > out[big]) {
+			big = p
+		}
+	}
+	if rem := a.cfg.Lines - a.nChunk*a.cfg.ChunkLines; rem > 0 && big >= 0 {
+		out[big] += rem
+	}
+	return out
+}
+
+// checkTargets panics when an objective broke its contract — the
+// enforcement layers trust targets blindly, so corrupt ones must not
+// propagate.
+func (a *Allocator) checkTargets(tg []int, live []bool) {
+	sum := 0
+	for p, t := range tg {
+		if live[p] {
+			if t < a.cfg.MinLines {
+				panicf("objective %s gave live partition %d only %d lines, floor %d",
+					a.cfg.Objective.Name(), p, t, a.cfg.MinLines)
+			}
+		} else if t != 0 {
+			panicf("objective %s gave dead partition %d %d lines",
+				a.cfg.Objective.Name(), p, t)
+		}
+		sum += t
+	}
+	if sum > a.cfg.Lines {
+		panicf("objective %s allocated %d lines, cache has %d",
+			a.cfg.Objective.Name(), sum, a.cfg.Lines)
+	}
+}
+
+// aggregateMissRatio is the access-weighted miss ratio across live
+// partitions at the given line targets.
+func aggregateMissRatio(cv *Curves, targets []int) float64 {
+	var acc, miss float64
+	for p := range cv.Live {
+		if !cv.Live[p] || cv.Accesses[p] == 0 {
+			continue
+		}
+		c := targets[p] / cv.Chunk
+		if c > cv.NChunk {
+			c = cv.NChunk
+		}
+		acc += float64(cv.Accesses[p])
+		miss += float64(cv.Accesses[p]) * cv.MissRatio(p, c)
+	}
+	if acc <= 0 {
+		return 1
+	}
+	return miss / acc
+}
+
+// evenSplit spreads lines evenly with the remainder on the low indices.
+func evenSplit(out []int, lines int) {
+	n := len(out)
+	base, rem := lines/n, lines%n
+	for i := range out {
+		out[i] = base
+		if i < rem {
+			out[i]++
+		}
+	}
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// panicf panics with the package-prefixed formatted message.
+func panicf(format string, args ...any) {
+	panic(fmt.Sprintf("alloc: "+format, args...))
+}

@@ -1,0 +1,284 @@
+package alloc
+
+import (
+	"testing"
+)
+
+// testCurves builds a snapshot from per-partition hit curves expressed as
+// hits-per-chunk increments; accesses default to the curve maximum plus a
+// miss tail.
+func testCurves(chunk int, gains [][]uint64) *Curves {
+	n := 0
+	for _, g := range gains {
+		if len(g) > n {
+			n = len(g)
+		}
+	}
+	cv := &Curves{
+		Chunk:    chunk,
+		NChunk:   n,
+		Hits:     make([][]uint64, len(gains)),
+		Accesses: make([]uint64, len(gains)),
+		Live:     make([]bool, len(gains)),
+	}
+	for p, g := range gains {
+		h := make([]uint64, n+1)
+		for c := 1; c <= n; c++ {
+			h[c] = h[c-1]
+			if c-1 < len(g) {
+				h[c] += g[c-1]
+			}
+		}
+		cv.Hits[p] = h
+		cv.Accesses[p] = h[n] + 100
+		cv.Live[p] = true
+		if h[n] == 0 && len(g) == 0 {
+			cv.Live[p] = false
+			cv.Accesses[p] = 0
+		}
+	}
+	return cv
+}
+
+func checkContract(t *testing.T, name string, out []int, cv *Curves, minChunks []int) {
+	t.Helper()
+	sum := 0
+	for p, c := range out {
+		if c < 0 {
+			t.Fatalf("%s: negative allocation %v", name, out)
+		}
+		if cv.Live[p] && c < minChunks[p] {
+			t.Fatalf("%s: partition %d below floor %d: %v", name, p, minChunks[p], out)
+		}
+		if !cv.Live[p] && c != 0 {
+			t.Fatalf("%s: dead partition %d got %d chunks", name, p, c)
+		}
+		sum += c
+	}
+	if sum != cv.NChunk {
+		t.Fatalf("%s: allocated %d chunks of %d: %v", name, sum, cv.NChunk, out)
+	}
+}
+
+func TestMaxHitsPrefersHighUtility(t *testing.T) {
+	// Partition 0 gains 100 hits/chunk for 6 chunks; partition 1 gains 10.
+	cv := testCurves(64, [][]uint64{
+		{100, 100, 100, 100, 100, 100},
+		{10, 10, 10, 10, 10, 10},
+	})
+	min := []int{1, 1}
+	out := MaxHits{}.Allocate(cv, min)
+	checkContract(t, "maxhits", out, cv, min)
+	if out[0] != 5 || out[1] != 1 {
+		t.Fatalf("expected (5,1), got %v", out)
+	}
+}
+
+func TestMaxHitsLookaheadCrossesPlateau(t *testing.T) {
+	// Partition 0's curve is flat for 3 chunks then jumps 500 at chunk 4 —
+	// one-chunk greedy would starve it; lookahead must see the span.
+	cv := testCurves(64, [][]uint64{
+		{0, 0, 0, 500, 0, 0, 0, 0},
+		{30, 30, 30, 30, 30, 30, 30, 30},
+	})
+	min := []int{0, 0}
+	out := MaxHits{}.Allocate(cv, min)
+	checkContract(t, "maxhits", out, cv, min)
+	if out[0] < 4 {
+		t.Fatalf("lookahead should fund the plateau jump: %v", out)
+	}
+}
+
+func TestMaxHitsSpreadsWhenNoGain(t *testing.T) {
+	cv := testCurves(64, [][]uint64{
+		{0, 0, 0, 0},
+		{0, 0, 0, 0},
+	})
+	// Flat curves: no marginal gain anywhere, spread round-robin.
+	cv.Live[0], cv.Live[1] = true, true
+	cv.Accesses[0], cv.Accesses[1] = 100, 100
+	min := []int{1, 1}
+	out := MaxHits{}.Allocate(cv, min)
+	checkContract(t, "maxhits", out, cv, min)
+	if out[0] != 2 || out[1] != 2 {
+		t.Fatalf("expected even spread (2,2), got %v", out)
+	}
+}
+
+func TestMaxMinFavorsWorstOff(t *testing.T) {
+	// Both gain per chunk, but partition 1 has far more accesses missing:
+	// its miss ratio stays higher, so max-min should give it more.
+	cv := testCurves(64, [][]uint64{
+		{10, 10, 10, 10, 10, 10, 10, 10},
+		{10, 10, 10, 10, 10, 10, 10, 10},
+	})
+	cv.Accesses[0] = 100
+	cv.Accesses[1] = 10000
+	min := []int{1, 1}
+	out := MaxMin{}.Allocate(cv, min)
+	checkContract(t, "maxmin", out, cv, min)
+	if out[1] <= out[0] {
+		t.Fatalf("max-min should favor the worse-off partition: %v", out)
+	}
+}
+
+func TestMaxMinSkipsExhaustedCurves(t *testing.T) {
+	// Partition 0 is a streaming tenant: terrible miss ratio, but no amount
+	// of capacity helps (flat curve). Max-min must not pour chunks into it.
+	cv := testCurves(64, [][]uint64{
+		{0, 0, 0, 0, 0, 0},
+		{50, 50, 50, 50, 50, 0},
+	})
+	cv.Accesses[0] = 10000
+	min := []int{1, 1}
+	out := MaxMin{}.Allocate(cv, min)
+	checkContract(t, "maxmin", out, cv, min)
+	if out[1] < 5 {
+		t.Fatalf("helpable partition should get the capacity: %v", out)
+	}
+}
+
+func TestQoSGuaranteesFloor(t *testing.T) {
+	cv := testCurves(64, [][]uint64{
+		{1000, 1000, 1000, 1000, 1000, 1000, 1000, 1000},
+		{1, 1, 1, 1, 1, 1, 1, 1},
+	})
+	min := []int{1, 1}
+	q := &QoS{GuaranteeLines: []int{0, 4 * 64}}
+	out := q.Allocate(cv, min)
+	checkContract(t, "qos", out, cv, min)
+	if out[1] < 4 {
+		t.Fatalf("guaranteed partition must get ≥ 4 chunks despite low utility: %v", out)
+	}
+
+	// Dead guaranteed partitions release their guarantee.
+	cv.Live[1] = false
+	cv.Accesses[1] = 0
+	out = q.Allocate(cv, min)
+	checkContract(t, "qos-dead", out, cv, min)
+
+	// Infeasible guarantees panic.
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("expected panic on infeasible guarantees")
+		}
+	}()
+	bad := &QoS{GuaranteeLines: []int{9 * 64, 9 * 64}}
+	cv.Live[1] = true
+	bad.Allocate(cv, min)
+}
+
+func TestPhaseAdaptiveHoldsThenReallocates(t *testing.T) {
+	o := &PhaseAdaptive{Threshold: 0.05}
+	cvA := testCurves(64, [][]uint64{
+		{100, 100, 100, 100, 100, 100},
+		{5, 5, 5, 5, 5, 5},
+	})
+	min := []int{1, 1}
+	first := o.Allocate(cvA, min)
+	checkContract(t, "phase-first", first, cvA, min)
+
+	// Same curves again: divergence ~0, allocation must hold bit-identical.
+	held := o.Allocate(cvA, min)
+	for i := range held {
+		if held[i] != first[i] {
+			t.Fatalf("stable curves must hold targets: %v vs %v", held, first)
+		}
+	}
+
+	// Flip the workload: partition 1 becomes the high-utility one.
+	cvB := testCurves(64, [][]uint64{
+		{5, 5, 5, 5, 5, 5},
+		{100, 100, 100, 100, 100, 100},
+	})
+	flipped := o.Allocate(cvB, min)
+	checkContract(t, "phase-flipped", flipped, cvB, min)
+	if flipped[1] <= flipped[0] {
+		t.Fatalf("drift past threshold must reallocate: %v", flipped)
+	}
+}
+
+func TestPhaseAdaptiveRecomputesWhenHoldInfeasible(t *testing.T) {
+	o := &PhaseAdaptive{Threshold: 1.1} // never trips on divergence alone
+	cv := testCurves(64, [][]uint64{
+		{100, 100, 100, 100},
+		{100, 100, 100, 100},
+	})
+	min := []int{1, 1}
+	o.Allocate(cv, min)
+
+	// Partition 1 dies: the held allocation gives a dead partition chunks,
+	// so the hold is invalid and the inner objective must run again.
+	cv2 := testCurves(64, [][]uint64{
+		{100, 100, 100, 100},
+		{100, 100, 100, 100},
+	})
+	cv2.Live[1] = false
+	cv2.Accesses[1] = 0
+	out := o.Allocate(cv2, min)
+	checkContract(t, "phase-infeasible-hold", out, cv2, min)
+}
+
+func TestDivergence(t *testing.T) {
+	cv := testCurves(64, [][]uint64{{10, 10}, {20, 20}})
+	if got := Divergence(nil, cv); got != 1 {
+		t.Fatalf("nil baseline must report full divergence, got %v", got)
+	}
+	if got := Divergence(cv, cv); got != 0 {
+		t.Fatalf("identical curves must report 0, got %v", got)
+	}
+	other := testCurves(64, [][]uint64{{10, 10}, {40, 0}})
+	if got := Divergence(cv, other); got <= 0 {
+		t.Fatalf("changed curve must report positive divergence, got %v", got)
+	}
+	deadNow := testCurves(64, [][]uint64{{10, 10}, {20, 20}})
+	deadNow.Live[1] = false
+	if got := Divergence(cv, deadNow); got != 1 {
+		t.Fatalf("live-set change must report full divergence, got %v", got)
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"utility", "maxhits", "maxmin", "phase"} {
+		if _, err := ByName(name); err != nil {
+			t.Fatalf("ByName(%q): %v", name, err)
+		}
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Fatalf("unknown objective must error")
+	}
+}
+
+// Every stateless objective obeys the allocation contract across a sweep of
+// synthetic curve shapes, floors and live masks.
+func TestObjectiveContractSweep(t *testing.T) {
+	shapes := [][][]uint64{
+		{{100, 50, 25, 12, 6, 3, 1, 0}, {7, 7, 7, 7, 7, 7, 7, 7}},
+		{{0, 0, 0, 0, 0, 0, 0, 0}, {1000, 0, 0, 0, 0, 0, 0, 0}},
+		{{5}, {5, 5, 5, 5, 5, 5, 5, 5}, {2, 4, 8, 16, 32, 64, 128, 256}},
+		{{1, 1, 1, 1}, {}, {9, 9, 9, 9}},
+	}
+	objectives := []Objective{MaxHits{}, MaxMin{}, &QoS{GuaranteeLines: []int{64, 0, 0}}}
+	for si, gains := range shapes {
+		for _, obj := range objectives {
+			if q, ok := obj.(*QoS); ok && len(gains) != len(q.GuaranteeLines) {
+				continue
+			}
+			cv := testCurves(64, gains)
+			min := make([]int, len(gains))
+			for p := range min {
+				if cv.Live[p] {
+					min[p] = 1
+				}
+			}
+			out := obj.Allocate(cv, min)
+			checkContract(t, obj.Name(), out, cv, min)
+			again := obj.Allocate(cv, min)
+			for i := range out {
+				if out[i] != again[i] {
+					t.Fatalf("shape %d: %s not deterministic: %v vs %v", si, obj.Name(), out, again)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,212 @@
+// Package alloc closes the capacity-management loop from measurement to
+// targets: spatially-hashed shadow-tag profilers estimate each partition's
+// miss-ratio curve online with bounded memory, and a periodic allocator
+// recomputes per-partition line targets from those curves under a pluggable
+// objective (max-aggregate-hits, max-min fairness, QoS guarantees, or
+// phase-adaptive hold-until-drift). The allocator is the online counterpart
+// of the offline internal/policy stack: where policy.Utility consumes whole
+// recorded traces through UMONs, alloc samples the live access stream and
+// reallocates every epoch, so the enforcement layers (the monolithic
+// simulator and the sharded engine's rebalancer) track workload phases
+// instead of running on static targets.
+//
+// Everything in the package is deterministic: equal seeds and equal access
+// sequences produce bit-identical curves, decisions and logs. Concurrency
+// safety (for the serving/load paths) comes from one mutex around the
+// sampled slow path; the per-access fast path is one atomic add and one
+// hash.
+package alloc
+
+import (
+	"fscache/internal/ost"
+	"fscache/internal/xrand"
+)
+
+// Profiler estimates one partition's LRU miss-ratio curve from a spatially
+// hashed sample of its access stream, with bounded memory and exponential
+// epoch decay.
+//
+// Sampling is SHARDS-style: only addresses whose mixed hash falls in a
+// 1/2^shift slice of hash space are tracked, and a sampled reuse at sampled
+// stack distance d estimates a full-stream reuse at distance d·2^shift —
+// the sampled subset is a uniformly spaced "spatial" subsample of the line
+// population, so distances scale by the inverse sampling rate. This is the
+// derivation of internal/mrc's exact Mattson profiler to bounded state: the
+// recency tree holds at most maxTags sampled lines (the oldest tracked line
+// is dropped when full, exactly a maxTags-line shadow cache over the
+// sample), so memory is O(maxTags) regardless of footprint.
+//
+// Decay halves every histogram counter at each epoch boundary while keeping
+// the shadow tags warm, so the curve is an exponentially weighted view of
+// recent epochs — stale phases fade instead of anchoring the curve forever.
+type Profiler struct {
+	shift   uint
+	mask    uint64
+	salt    uint64
+	maxTags int
+
+	tree    *ost.Tree
+	lastKey map[uint64]ost.Key
+	seq     uint64
+
+	// hist[d] counts sampled reuses at sampled stack distance d+1; the
+	// estimated full-stream distance is (d+1)<<shift.
+	hist []uint64
+	// far counts sampled references with no tracked prior use: cold misses
+	// plus reuses beyond the maxTags shadow depth.
+	far uint64
+	// sampled and offered count references since construction, decayed with
+	// the histogram (sampled: tracked references; offered: all references
+	// presented to Touch, sampled or not).
+	sampled uint64
+	offered uint64
+}
+
+// NewProfiler builds a profiler sampling 1/2^sampleShift of hash space and
+// tracking at most maxTags sampled lines (resolving the curve up to
+// maxTags<<sampleShift estimated lines). maxTags must be positive;
+// sampleShift must be below 32.
+func NewProfiler(maxTags int, sampleShift uint, seed uint64) *Profiler {
+	if maxTags <= 0 {
+		panic("alloc: maxTags must be positive")
+	}
+	if sampleShift >= 32 {
+		panic("alloc: sampleShift must be below 32")
+	}
+	return &Profiler{
+		shift:   sampleShift,
+		mask:    (uint64(1) << sampleShift) - 1,
+		salt:    xrand.Mix64(seed ^ 0x5a11ce0fda7a5eed),
+		maxTags: maxTags,
+		tree:    ost.New(xrand.Mix64(seed ^ 0x70f11e)),
+		lastKey: make(map[uint64]ost.Key, maxTags),
+		hist:    make([]uint64, maxTags),
+	}
+}
+
+// Sampled reports whether addr falls in the profiler's spatial sample. It is
+// pure, so concurrent fast paths may call it before taking any lock.
+func (p *Profiler) Sampled(addr uint64) bool {
+	return xrand.Mix64(addr^p.salt)&p.mask == 0
+}
+
+// Touch records one reference, tracking it only when sampled, and reports
+// whether it was sampled.
+func (p *Profiler) Touch(addr uint64) bool {
+	if !p.Sampled(addr) {
+		p.offered++
+		return false
+	}
+	p.TouchSampled(addr)
+	return true
+}
+
+// TouchSampled records one reference that the caller already knows is
+// sampled (Sampled(addr) returned true). Splitting the check from the
+// update lets concurrent callers hash outside the profiler's lock.
+func (p *Profiler) TouchSampled(addr uint64) {
+	p.offered++
+	p.sampled++
+	p.seq++
+	newKey := ost.Key{Primary: ^p.seq, Tie: addr}
+	if old, ok := p.lastKey[addr]; ok {
+		// Keys ascend most-recent-first (^seq), so the old key's rank is the
+		// number of distinct sampled lines used since — the sampled stack
+		// distance.
+		rank, found := p.tree.Rank(old)
+		if !found {
+			panic("alloc: shadow tree lost a tracked line")
+		}
+		if rank <= p.maxTags {
+			p.hist[rank-1]++
+		} else {
+			p.far++
+		}
+		p.tree.Delete(old)
+	} else {
+		p.far++
+	}
+	p.tree.Insert(newKey, 0)
+	p.lastKey[addr] = newKey
+	if p.tree.Len() > p.maxTags {
+		// Bounded memory: drop the least recently used tracked line (the
+		// largest key under the ^seq ordering). Its next reuse will count as
+		// far, exactly as if a maxTags-line shadow cache evicted it.
+		oldest, _ := p.tree.Max()
+		p.tree.Delete(oldest)
+		delete(p.lastKey, oldest.Tie)
+	}
+}
+
+// Decay halves every counter (integer halving, deterministic) while keeping
+// the shadow tags warm. The allocator calls it at each epoch boundary, so
+// counters are an exponentially weighted sum over epochs with λ = 1/2.
+func (p *Profiler) Decay() {
+	for i := range p.hist {
+		p.hist[i] >>= 1
+	}
+	p.far >>= 1
+	p.sampled >>= 1
+	p.offered >>= 1
+}
+
+// Offered returns the decayed count of all references presented to the
+// profiler (sampled or not).
+func (p *Profiler) Offered() uint64 { return p.offered }
+
+// SampledCount returns the decayed count of tracked references.
+func (p *Profiler) SampledCount() uint64 { return p.sampled }
+
+// MaxLines returns the largest estimated cache size the profiler resolves:
+// maxTags tracked lines scaled back by the sampling rate.
+func (p *Profiler) MaxLines() int { return p.maxTags << p.shift }
+
+// Truncated reports whether MissRatio(lines) is saturated by the bounded
+// shadow depth (lines strictly beyond MaxLines(); the MaxLines() point
+// itself is fully resolved).
+func (p *Profiler) Truncated(lines int) bool { return lines > p.MaxLines() }
+
+// sampledHits returns the decayed sampled-reference hit count a cache of
+// `lines` lines would have seen: reuses at sampled distances ≤ lines>>shift.
+func (p *Profiler) sampledHits(lines int) uint64 {
+	if lines <= 0 {
+		return 0
+	}
+	limit := lines >> p.shift
+	if limit > p.maxTags {
+		limit = p.maxTags
+	}
+	var hits uint64
+	for d := 0; d < limit; d++ {
+		hits += p.hist[d]
+	}
+	return hits
+}
+
+// HitsAt estimates the decayed full-stream hit count with `lines` lines:
+// sampled hits scaled back by the sampling rate. Objectives compare these
+// across partitions, so the scaling keeps monitors with different traffic
+// volumes commensurable.
+func (p *Profiler) HitsAt(lines int) uint64 {
+	return p.sampledHits(lines) << p.shift
+}
+
+// MissRatio estimates the miss ratio of an LRU cache with `lines` lines
+// over the decayed sampled stream. With no sampled references yet it
+// returns 1 (everything would miss). For lines > MaxLines() the value
+// saturates at the MaxLines() point (see Truncated).
+func (p *Profiler) MissRatio(lines int) float64 {
+	if p.sampled == 0 {
+		return 1
+	}
+	return float64(p.sampled-p.sampledHits(lines)) / float64(p.sampled)
+}
+
+// Curve returns estimated miss ratios at each requested size.
+func (p *Profiler) Curve(sizes []int) []float64 {
+	out := make([]float64, len(sizes))
+	for i, s := range sizes {
+		out[i] = p.MissRatio(s)
+	}
+	return out
+}

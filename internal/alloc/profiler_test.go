@@ -1,0 +1,177 @@
+package alloc
+
+import (
+	"math"
+	"testing"
+
+	"fscache/internal/mrc"
+	"fscache/internal/xrand"
+)
+
+// With sampleShift 0 every address is sampled and the profiler must agree
+// exactly with the unsampled Mattson profiler in internal/mrc wherever both
+// resolve the curve.
+func TestProfilerMatchesExactMRCAtShiftZero(t *testing.T) {
+	const tags = 256
+	p := NewProfiler(tags, 0, 1)
+	exact := mrc.New(tags, 1)
+
+	rng := xrand.New(42)
+	var addrs []uint64
+	for i := 0; i < 20000; i++ {
+		addrs = append(addrs, rng.Uint64()%500)
+	}
+	for _, a := range addrs {
+		if !p.Touch(a) {
+			t.Fatalf("shift 0 must sample every address")
+		}
+		exact.Touch(a)
+	}
+
+	for _, lines := range []int{1, 7, 16, 100, 255, 256} {
+		got := p.MissRatio(lines)
+		want := exact.MissRatio(lines)
+		if math.Abs(got-want) > 1e-12 {
+			t.Fatalf("MissRatio(%d) = %v, exact profiler says %v", lines, got, want)
+		}
+	}
+	if p.Offered() != exact.Total() {
+		t.Fatalf("Offered() = %d, exact Total() = %d", p.Offered(), exact.Total())
+	}
+}
+
+// Sampling must estimate the curve of the full stream: with a working-set
+// cyclic/zipf-ish mix, the sampled estimate at several sizes should land
+// near the shift-0 ground truth.
+func TestProfilerSampledEstimatesFullCurve(t *testing.T) {
+	const n = 400000
+	rng := xrand.New(7)
+	addrs := make([]uint64, n)
+	for i := range addrs {
+		// 4096-line hot set with an 1/8 chance of a 65536-line cold tail.
+		if rng.Uint64()%8 == 0 {
+			addrs[i] = (1 << 32) | (rng.Uint64() % 65536) // cold tail, rarely reused
+		} else {
+			addrs[i] = rng.Uint64() % 4096
+		}
+	}
+
+	truth := NewProfiler(1<<17, 0, 99)
+	est := NewProfiler(1<<13, 3, 99) // 1/8 sampling, resolves 1<<16 lines
+	for _, a := range addrs {
+		truth.Touch(a)
+		est.Touch(a)
+	}
+
+	for _, lines := range []int{512, 1024, 4096, 16384} {
+		want := truth.MissRatio(lines)
+		got := est.MissRatio(lines)
+		if math.Abs(got-want) > 0.03 {
+			t.Fatalf("sampled MissRatio(%d) = %.4f, ground truth %.4f (|Δ| > 0.03)", lines, got, want)
+		}
+	}
+}
+
+// The shadow-tag bound must hold no matter the footprint, and sizes past
+// MaxLines must report Truncated with a saturated curve.
+func TestProfilerBoundedMemoryAndTruncation(t *testing.T) {
+	p := NewProfiler(64, 2, 3)
+	for i := 0; i < 100000; i++ {
+		p.Touch(uint64(i)) // pure cold stream, unbounded footprint
+	}
+	if p.tree.Len() > 64 {
+		t.Fatalf("tree holds %d tags, bound is 64", p.tree.Len())
+	}
+	if len(p.lastKey) != p.tree.Len() {
+		t.Fatalf("lastKey has %d entries, tree %d", len(p.lastKey), p.tree.Len())
+	}
+	if got, want := p.MaxLines(), 64<<2; got != want {
+		t.Fatalf("MaxLines() = %d, want %d", got, want)
+	}
+	if p.Truncated(p.MaxLines()) {
+		t.Fatalf("MaxLines() itself must be resolved, not truncated")
+	}
+	if !p.Truncated(p.MaxLines() + 1) {
+		t.Fatalf("MaxLines()+1 must be truncated")
+	}
+	if p.MissRatio(p.MaxLines()) != p.MissRatio(1<<30) {
+		t.Fatalf("curve must saturate past MaxLines")
+	}
+}
+
+// A reuse evicted from the bounded shadow must count as far, exactly like a
+// maxTags-line shadow cache miss.
+func TestProfilerEvictedReuseCountsFar(t *testing.T) {
+	p := NewProfiler(4, 0, 5)
+	for a := uint64(0); a < 8; a++ {
+		p.Touch(a)
+	}
+	farBefore := p.far
+	p.Touch(0) // distance 8 > 4 tags: tracked line was evicted
+	if p.far != farBefore+1 {
+		t.Fatalf("evicted reuse should add to far: %d -> %d", farBefore, p.far)
+	}
+	if p.HitsAt(1<<20) != 0 {
+		t.Fatalf("no reuse within the shadow depth, HitsAt must be 0")
+	}
+}
+
+// Decay halves every counter and keeps tags warm.
+func TestProfilerDecay(t *testing.T) {
+	p := NewProfiler(32, 0, 11)
+	for i := 0; i < 3; i++ {
+		for a := uint64(0); a < 8; a++ {
+			p.Touch(a)
+		}
+	}
+	tags := p.tree.Len()
+	sampled, offered, hits := p.sampled, p.offered, p.HitsAt(8)
+	p.Decay()
+	if p.sampled != sampled/2 || p.offered != offered/2 {
+		t.Fatalf("counters not halved: sampled %d->%d offered %d->%d", sampled, p.sampled, offered, p.offered)
+	}
+	if got := p.HitsAt(8); got > hits/2+8 || got < hits/4 {
+		t.Fatalf("histogram not approximately halved: %d -> %d", hits, got)
+	}
+	if p.tree.Len() != tags {
+		t.Fatalf("decay must keep shadow tags warm: %d -> %d", tags, p.tree.Len())
+	}
+	// Reuse after decay still resolves distances.
+	before := p.HitsAt(8)
+	p.Touch(0)
+	if p.HitsAt(8) != before+1 {
+		t.Fatalf("post-decay reuse not credited")
+	}
+}
+
+// Equal seeds and access sequences give bit-identical state.
+func TestProfilerDeterministic(t *testing.T) {
+	run := func() []float64 {
+		p := NewProfiler(128, 2, 77)
+		rng := xrand.New(13)
+		for i := 0; i < 50000; i++ {
+			p.Touch(rng.Uint64() % 3000)
+		}
+		return p.Curve([]int{1, 64, 256, 512})
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("curve diverged at %d: %v vs %v", i, a, b)
+		}
+	}
+}
+
+func TestProfilerPanics(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s: expected panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("maxTags", func() { NewProfiler(0, 3, 1) })
+	mustPanic("shift", func() { NewProfiler(16, 32, 1) })
+}

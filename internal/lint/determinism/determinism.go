@@ -54,6 +54,7 @@ var DefaultSimPackages = []string{
 	"fscache/internal/difftest",
 	"fscache/internal/shardcache",
 	"fscache/internal/scenario",
+	"fscache/internal/alloc",
 }
 
 // Analyzer enforces the contract over DefaultSimPackages.

@@ -30,6 +30,7 @@ func TestDefaultScope(t *testing.T) {
 		"fscache/internal/difftest":    true,
 		"fscache/internal/shardcache":  true,
 		"fscache/internal/scenario":    true,
+		"fscache/internal/alloc":       true,
 	}
 	if len(determinism.DefaultSimPackages) != len(want) {
 		t.Fatalf("DefaultSimPackages has %d entries, want %d", len(determinism.DefaultSimPackages), len(want))

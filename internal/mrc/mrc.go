@@ -105,12 +105,14 @@ func (p *Profiler) Truncated(lines int) bool { return lines > p.maxDepth }
 // MissRatio returns the exact miss ratio of a fully-associative LRU cache
 // with `lines` lines over the recorded stream.
 //
-// The result saturates at the profiled depth: for lines ≥ MaxDepth() it is
+// The result saturates at the profiled depth: for lines > MaxDepth() it is
 // the miss ratio at exactly MaxDepth() lines, which *overstates* the true
 // miss ratio of a larger cache whenever reuses occurred beyond that depth.
-// Callers comparing against caches larger than the profiled depth must
-// check Truncated(lines) and either deepen the profiler or treat the value
-// as "≥ MaxDepth()" semantics.
+// The MaxDepth() point itself is exact — a reuse at stack distance
+// MaxDepth() is credited to the histogram, matching Truncated's strict
+// `lines > MaxDepth()` boundary. Callers comparing against caches larger
+// than the profiled depth must check Truncated(lines) and either deepen the
+// profiler or treat the value as a lower bound on hits.
 func (p *Profiler) MissRatio(lines int) float64 {
 	if p.total == 0 {
 		return 0

@@ -203,3 +203,37 @@ func BenchmarkTouch(b *testing.B) {
 		p.Touch(rng.Uint64() % (1 << 15))
 	}
 }
+
+// Boundary: a reuse at stack distance exactly MaxDepth() is credited, so
+// MissRatio(MaxDepth()) is exact and saturation starts strictly beyond it —
+// Truncated(MaxDepth()) is false, Truncated(MaxDepth()+1) is true, and the
+// two sizes report the same (saturated) ratio.
+func TestMaxDepthBoundary(t *testing.T) {
+	const depth = 8
+	p := New(depth, 1)
+	// Cycle through exactly `depth` distinct lines twice: every reuse has
+	// stack distance depth, the largest the profiler resolves.
+	for pass := 0; pass < 2; pass++ {
+		for a := uint64(0); a < depth; a++ {
+			p.Touch(a)
+		}
+	}
+	if p.Truncated(depth) {
+		t.Fatalf("Truncated(%d) = true; the MaxDepth() point is fully resolved", depth)
+	}
+	if !p.Truncated(depth + 1) {
+		t.Fatalf("Truncated(%d) = false; saturation must start past MaxDepth()", depth+1)
+	}
+	// 8 cold misses + 8 reuses at distance 8: a depth-8 cache hits all the
+	// reuses, so the exact ratio at MaxDepth() is 1/2 — and NOT the 1.0 a
+	// (depth−1)-line cache would see.
+	if got := p.MissRatio(depth); got != 0.5 {
+		t.Fatalf("MissRatio(MaxDepth()) = %v, want exact 0.5", got)
+	}
+	if got := p.MissRatio(depth - 1); got != 1 {
+		t.Fatalf("MissRatio(MaxDepth()-1) = %v, want 1 (distance-%d reuses all miss)", got, depth)
+	}
+	if p.MissRatio(depth+1) != p.MissRatio(depth) {
+		t.Fatalf("MissRatio past MaxDepth must saturate at the MaxDepth value")
+	}
+}

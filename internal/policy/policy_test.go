@@ -253,3 +253,185 @@ func BenchmarkUMONObserve(b *testing.B) {
 		u.Observe(rng.Uint64() % 65536)
 	}
 }
+
+// Regression: way-granular chunking used to strand up to ways−1 lines plus
+// the whole totalLines%ways remainder. Feasible configs must now allocate
+// exactly totalLines.
+func TestUtilityAllocatesFullCapacity(t *testing.T) {
+	reuse, stream := NewUMON(16, 16), NewUMON(16, 16)
+	rng := xrand.New(9)
+	for i := 0; i < 50000; i++ {
+		reuse.Observe(rng.Uint64() % 512)
+		stream.Observe(uint64(i))
+	}
+	p := &Utility{Monitors: []*UMON{reuse, stream}}
+	// 1000 % 16 = 8 stranded by the old chunking, plus chunk rounding.
+	for _, lines := range []int{1000, 1024, 1023, 17, 8192} {
+		tg := p.Targets(lines)
+		if sum(tg) != lines {
+			t.Fatalf("Targets(%d) allocated %d lines: %v", lines, sum(tg), tg)
+		}
+	}
+}
+
+// Regression: the over-capacity rescale used to push allocations back under
+// the MinLines floor it had just applied. One hog thread + high floors.
+func TestUtilityFloorsSurviveShave(t *testing.T) {
+	mons := make([]*UMON, 4)
+	rng := xrand.New(21)
+	for i := range mons {
+		mons[i] = NewUMON(32, 16)
+	}
+	for i := 0; i < 100000; i++ {
+		mons[0].Observe(rng.Uint64() % 4096) // hog: deep reuse, wins most ways
+		for _, m := range mons[1:] {
+			m.Observe(uint64(i)) // streams
+		}
+	}
+	p := &Utility{Monitors: mons, MinLines: 240}
+	tg := p.Targets(1000)
+	for i, v := range tg {
+		if v < 240 {
+			t.Fatalf("partition %d below floor after shave: %v", i, tg)
+		}
+	}
+	if sum(tg) != 1000 {
+		t.Fatalf("shave missed capacity: sum %d, targets %v", sum(tg), tg)
+	}
+	if tg[0] <= 240 {
+		t.Fatalf("hog thread should keep more than the floor: %v", tg)
+	}
+}
+
+// Infeasible floors must panic instead of silently violating them.
+func TestUtilityInfeasibleFloorsPanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on n*MinLines > totalLines")
+		}
+	}()
+	p := &Utility{Monitors: []*UMON{NewUMON(4, 16), NewUMON(4, 16)}, MinLines: 600}
+	p.Targets(1000)
+}
+
+// A sampled UMON tracks only its hash slice but its scaled curve must
+// approximate the full-rate monitor's on the same stream.
+func TestUMONSampledApproximatesFullCurve(t *testing.T) {
+	full := NewUMON(16, 64)
+	sampled := NewUMONSampled(16, 64, 2) // 1/4 of address space
+	rng := xrand.New(31)
+	var observed, total uint64
+	for i := 0; i < 400000; i++ {
+		addr := rng.Uint64() % 8192
+		full.Observe(addr)
+		if sampled.Observe(addr) {
+			observed++
+		}
+		total++
+	}
+	if sampled.Accesses() != total {
+		t.Fatalf("Accesses must count every offered reference: %d vs %d", sampled.Accesses(), total)
+	}
+	rate := float64(observed) / float64(total)
+	if rate < 0.15 || rate > 0.35 {
+		t.Fatalf("1/4 sampling observed %.3f of the stream", rate)
+	}
+	fc, sc := full.Curve(), sampled.Curve()
+	for _, w := range []int{4, 8, 16} {
+		fr := float64(fc[w]) / float64(full.Accesses())
+		sr := float64(sc[w]) / float64(sampled.Accesses())
+		if d := fr - sr; d < -0.05 || d > 0.05 {
+			t.Fatalf("scaled sampled hit ratio at %d ways: %.4f vs full %.4f", w, sr, fr)
+		}
+	}
+}
+
+// Shift 0 must behave exactly like the full-rate constructor.
+func TestUMONSampledShiftZeroIdentical(t *testing.T) {
+	a, b := NewUMON(8, 16), NewUMONSampled(8, 16, 0)
+	rng := xrand.New(41)
+	for i := 0; i < 20000; i++ {
+		addr := rng.Uint64() % 1000
+		if !a.Observe(addr) || !b.Observe(addr) {
+			t.Fatal("full-rate monitors must sample everything")
+		}
+	}
+	ca, cb := a.Curve(), b.Curve()
+	for i := range ca {
+		if ca[i] != cb[i] {
+			t.Fatalf("curves differ at %d: %v vs %v", i, ca, cb)
+		}
+	}
+}
+
+func TestUMONSampledValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on sampleShift >= 32")
+		}
+	}()
+	NewUMONSampled(8, 16, 32)
+}
+
+// Property: every Policy yields deterministic, non-negative targets that
+// sum to at most the capacity and respect floors/guarantees.
+func TestQuickAllPoliciesInvariants(t *testing.T) {
+	f := func(seed uint64, lines16 uint16, minLines8 uint8) bool {
+		lines := int(lines16)%8192 + 512
+		minLines := int(minLines8)
+		rng := xrand.New(seed)
+		mons := make([]*UMON, 3)
+		for i := range mons {
+			mons[i] = NewUMON(8, 16)
+		}
+		for i := 0; i < 2000; i++ {
+			mons[0].Observe(rng.Uint64() % 256)
+			mons[1].Observe(rng.Uint64() % 4096)
+			mons[2].Observe(uint64(i))
+		}
+		if 3*minLines > lines {
+			minLines = lines / 3
+		}
+		policies := []Policy{
+			Equal{Parts: 3},
+			Static{Fixed: []int{lines / 4, lines / 4, lines / 4}},
+			QoS{Subjects: 1, Background: 2, SubjectLines: lines / 8},
+			&Utility{Monitors: mons, MinLines: minLines},
+		}
+		for _, pol := range policies {
+			tg := pol.Targets(lines)
+			again := pol.Targets(lines)
+			if len(tg) != len(again) {
+				return false
+			}
+			total := 0
+			for i := range tg {
+				if tg[i] < 0 || tg[i] != again[i] {
+					return false
+				}
+				total += tg[i]
+			}
+			if total > lines {
+				return false
+			}
+			if u, ok := pol.(*Utility); ok {
+				for _, v := range tg {
+					if v < u.MinLines {
+						return false
+					}
+				}
+			}
+			if q, ok := pol.(QoS); ok {
+				for i := 0; i < q.Subjects; i++ {
+					if tg[i] != q.SubjectLines {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

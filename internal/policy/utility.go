@@ -11,7 +11,8 @@ package policy
 // UMON is the per-thread utility monitor.
 type UMON struct {
 	ways       int
-	sampleMask uint64 // sample sets where (addr>>6)&mask == 0? we sample by hash
+	sampleMask uint64 // dynamic set sampling: track addr iff hash&sampleMask == 0
+	shift      uint   // log2 of the inverse sampling rate (mask bits)
 	sets       int
 	tags       [][]uint64 // per sampled set: LRU stack, most recent first
 	hits       []uint64   // hits at stack position i (i.e. needs ≥ i+1 ways)
@@ -19,17 +20,35 @@ type UMON struct {
 	accesses   uint64
 }
 
-// NewUMON builds a monitor with the given associativity (curve resolution)
-// and number of sampled sets. Typical: 32 ways, 64 sampled sets.
+// NewUMON builds a full-rate monitor with the given associativity (curve
+// resolution) and number of tracked sets: every access is folded onto a
+// tracked set, so no scaling applies. Typical: 32 ways, 64 sampled sets.
 func NewUMON(ways, sampledSets int) *UMON {
-	if ways <= 0 || sampledSets <= 0 || sampledSets&(sampledSets-1) != 0 {
+	return NewUMONSampled(ways, sampledSets, 0)
+}
+
+// NewUMONSampled builds a monitor that materializes tag stacks for only
+// 1/2^sampleShift of its virtual sets (those whose index has zero low bits)
+// — UCP's dynamic set sampling. The tracked sets see exactly the stream
+// they would in the full monitor, so per-set stack distances are unchanged;
+// hit counters cover the sampled sets only, and Curve scales them back by
+// 2^sampleShift so curves stay commensurate with Accesses (which counts
+// every offered reference). sampleShift 0 recovers the full-rate monitor;
+// 2^sampleShift must not exceed the set count.
+func NewUMONSampled(ways, virtualSets int, sampleShift uint) *UMON {
+	if ways <= 0 || virtualSets <= 0 || virtualSets&(virtualSets-1) != 0 {
 		panic("policy: UMON needs positive ways and power-of-two sampled sets")
 	}
+	if sampleShift >= 32 || 1<<sampleShift > virtualSets {
+		panic("policy: UMON sampleShift must leave at least one tracked set")
+	}
 	u := &UMON{
-		ways: ways,
-		sets: sampledSets,
-		tags: make([][]uint64, sampledSets),
-		hits: make([]uint64, ways),
+		ways:       ways,
+		sampleMask: (uint64(1) << sampleShift) - 1,
+		shift:      sampleShift,
+		sets:       virtualSets,
+		tags:       make([][]uint64, virtualSets>>sampleShift),
+		hits:       make([]uint64, ways),
 	}
 	for i := range u.tags {
 		u.tags[i] = make([]uint64, 0, ways)
@@ -37,24 +56,23 @@ func NewUMON(ways, sampledSets int) *UMON {
 	return u
 }
 
-// sampleRatio is the inverse sampling rate applied in Curve scaling: UMON
-// watches one of every sampleEvery sets of the real cache. We fold the
-// address space onto the sampled sets directly, so every access lands in a
-// sampled set; the curve is therefore already full-rate.
-const _ = 0
-
-// Observe feeds one line address through the monitor.
-func (u *UMON) Observe(addr uint64) {
+// Observe feeds one line address through the monitor and reports whether it
+// landed in a tracked set (always true for full-rate monitors).
+func (u *UMON) Observe(addr uint64) bool {
 	u.accesses++
-	set := int((addr * 0x9e3779b97f4a7c15) >> 40 & uint64(u.sets-1))
-	stack := u.tags[set]
+	mixed := addr * 0x9e3779b97f4a7c15
+	set := int(mixed >> 40 & uint64(u.sets-1))
+	if uint64(set)&u.sampleMask != 0 {
+		return false
+	}
+	stack := u.tags[set>>u.shift]
 	for i, t := range stack {
 		if t == addr {
 			u.hits[i]++
 			// Move to MRU.
 			copy(stack[1:i+1], stack[:i])
 			stack[0] = addr
-			return
+			return true
 		}
 	}
 	u.misses++
@@ -63,15 +81,18 @@ func (u *UMON) Observe(addr uint64) {
 	}
 	copy(stack[1:], stack[:len(stack)-1])
 	stack[0] = addr
-	u.tags[set] = stack
+	u.tags[set>>u.shift] = stack
+	return true
 }
 
-// Curve returns cumulative hits[w] = hits the thread would get with w ways
-// (w = 0..ways); Curve()[0] is always 0.
+// Curve returns cumulative hits[w] = estimated full-stream hits the thread
+// would get with w ways (w = 0..ways); Curve()[0] is always 0. For sampled
+// monitors the counters cover 1/2^shift of the address space, so each point
+// is scaled back by 2^shift.
 func (u *UMON) Curve() []uint64 {
 	out := make([]uint64, u.ways+1)
 	for i, h := range u.hits {
-		out[i+1] = out[i] + h
+		out[i+1] = out[i] + h<<u.shift
 	}
 	return out
 }
@@ -99,11 +120,18 @@ type Utility struct {
 // Name implements Policy.
 func (*Utility) Name() string { return "utility" }
 
-// Targets implements Policy: greedy lookahead over way-granular chunks.
+// Targets implements Policy: greedy lookahead over way-granular chunks,
+// then remainder distribution by marginal utility, floors, and a
+// floor-preserving shave back to capacity. It panics when the floors are
+// infeasible (n×MinLines > totalLines).
 func (p *Utility) Targets(totalLines int) []int {
 	n := len(p.Monitors)
 	if n == 0 {
 		panic("policy: Utility needs monitors")
+	}
+	if p.MinLines > 0 && n*p.MinLines > totalLines {
+		panicf("infeasible floors: %d monitors × MinLines %d exceed %d lines",
+			n, p.MinLines, totalLines)
 	}
 	ways := p.Monitors[0].ways
 	for _, m := range p.Monitors {
@@ -148,16 +176,69 @@ func (p *Utility) Targets(totalLines int) []int {
 	assigned := 0
 	for i := range out {
 		out[i] = alloc[i] * chunk
-		if out[i] < p.MinLines {
-			out[i] = p.MinLines
-		}
 		assigned += out[i]
 	}
-	// Scale down if floors pushed us over capacity.
-	if assigned > totalLines {
-		for i := range out {
-			out[i] = out[i] * totalLines / assigned
+	// Way-granular chunks strand up to ways−1 lines plus the whole
+	// totalLines%ways remainder; hand the leftover to the thread with the
+	// greatest marginal utility at its current allocation (ties to the
+	// lower index). Capped threads count their last way's gain.
+	if leftover := totalLines - assigned; leftover > 0 {
+		best, bestGain := 0, int64(-1)
+		for i := 0; i < n; i++ {
+			w := alloc[i]
+			if w >= ways {
+				w = ways - 1
+			}
+			if gain := int64(curves[i][w+1] - curves[i][w]); gain > bestGain {
+				bestGain = gain
+				best = i
+			}
 		}
+		out[best] += leftover
+		assigned += leftover
+	}
+	// Raise floors, then shave the largest allocations back to capacity —
+	// never below MinLines, so floors survive (feasibility was checked
+	// above). The old proportional rescale could push entries back under
+	// the floor it had just applied.
+	for i := range out {
+		if out[i] < p.MinLines {
+			assigned += p.MinLines - out[i]
+			out[i] = p.MinLines
+		}
+	}
+	for assigned > totalLines {
+		// Find the two largest shavable allocations; lowering the largest
+		// to the level of the runner-up (or the floor, or by the full
+		// excess) converges in at most n rounds.
+		largest, second := -1, -1
+		for i := range out {
+			if out[i] <= p.MinLines {
+				continue
+			}
+			if largest < 0 || out[i] > out[largest] {
+				second = largest
+				largest = i
+			} else if second < 0 || out[i] > out[second] {
+				second = i
+			}
+		}
+		if largest < 0 {
+			panic("policy: cannot shave below floors") // unreachable: feasibility checked
+		}
+		floor := p.MinLines
+		if second >= 0 && out[second] > floor {
+			floor = out[second]
+		}
+		cut := out[largest] - floor
+		if cut == 0 {
+			cut = 1 // all shavable entries equal: peel one line at a time
+		}
+		if cut > assigned-totalLines {
+			cut = assigned - totalLines
+		}
+		out[largest] -= cut
+		assigned -= cut
 	}
 	return out
 }

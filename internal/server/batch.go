@@ -182,6 +182,11 @@ func (c *conn) handleGetRun(head *Request, respBuf *[]byte) bool {
 	// Engine: one batched pass, one lock per touched stripe.
 	if len(b.accs) > 0 {
 		b.batch.Access(b.accs, b.results[:len(b.accs)])
+		if s.cfg.Observe != nil {
+			for j := range b.accs {
+				s.cfg.Observe(b.accs[j].Part, b.accs[j].Addr)
+			}
+		}
 	}
 	for j := range b.accs {
 		i := b.accIdx[j]

@@ -58,6 +58,16 @@ type Config struct {
 	// Rebalance is the engine target-redistribution cadence; 0 disables
 	// the background rebalancer.
 	Rebalance time.Duration
+	// TargetSource, when non-nil, drives the rebalancer's target vector:
+	// each tick polls it and installs fresh targets before redistributing
+	// (the online allocator in internal/alloc implements it). Requires
+	// Rebalance > 0 to have any effect.
+	TargetSource shardcache.TargetSource
+	// Observe, when non-nil, is called with (partition, address) for every
+	// access the engine performs on behalf of a request — the feed for an
+	// online allocator. It must be safe for concurrent use and cheap: it
+	// runs on the request path.
+	Observe func(part int, addr uint64)
 	// StoreShards is the byte store's lock-shard count (power of two).
 	// Default 16.
 	StoreShards int
@@ -226,7 +236,7 @@ func (s *Server) Serve(ln net.Listener) {
 	s.loopWG.Add(1)
 	go s.acceptLoop()
 	if s.cfg.Rebalance > 0 {
-		s.rb = s.engine.StartRebalancer(s.cfg.Rebalance)
+		s.rb = s.engine.StartRebalancerSource(s.cfg.Rebalance, s.cfg.TargetSource)
 	}
 	s.logf("server: listening on %s (%d tenants, soft=%d hard=%d)",
 		ln.Addr(), len(s.cfg.Tenants), s.cfg.SoftInflight, s.cfg.HardInflight)
@@ -250,6 +260,22 @@ func (s *Server) rebalanceCount() uint64 {
 		return 0
 	}
 	return s.rb.Rebalances()
+}
+
+// installCount reads the rebalancer's source-install counter (0 when the
+// cadence is disabled or no TargetSource is configured).
+func (s *Server) installCount() uint64 {
+	if s.rb == nil {
+		return 0
+	}
+	return s.rb.Installs()
+}
+
+// observe feeds one engine access to the configured allocator hook.
+func (s *Server) observe(part int, addr uint64) {
+	if s.cfg.Observe != nil {
+		s.cfg.Observe(part, addr)
+	}
 }
 
 func (s *Server) logf(format string, args ...interface{}) {
@@ -515,6 +541,7 @@ func (c *conn) handle(req *Request) (resp Response, ok bool) {
 		// re-installs it (a refetch) and may victimize another line,
 		// whose bytes must go.
 		res := s.engine.Access(addr, part)
+		s.observe(part, addr)
 		if res.Evicted {
 			s.store.Delete(res.EvictedAddr)
 		}
@@ -525,6 +552,7 @@ func (c *conn) handle(req *Request) (resp Response, ok bool) {
 		resp.Value = val
 	case OpSet:
 		res := s.engine.Access(addr, part)
+		s.observe(part, addr)
 		if res.Evicted {
 			s.store.Delete(res.EvictedAddr)
 		}
@@ -633,20 +661,21 @@ type LatencyStats struct {
 
 // StatsSnapshot is the OpStats JSON payload.
 type StatsSnapshot struct {
-	Accepted     uint64        `json:"accepted"`
-	LiveConns    int           `json:"live_conns"`
-	Inflight     int64         `json:"inflight"`
-	Panics       uint64        `json:"panics"`
-	BadFrames    uint64        `json:"bad_frames"`
-	SlowClients  uint64        `json:"slow_clients"`
-	ForcedConns  uint64        `json:"forced_conns"`
-	Rebalances   uint64        `json:"rebalances"`
-	Draining     bool          `json:"draining"`
-	StoreEntries int           `json:"store_entries"`
-	StoreBytes   int64         `json:"store_bytes"`
-	Accesses     uint64        `json:"engine_accesses"`
-	Tenants      []TenantStats `json:"tenants"`
-	Latency      LatencyStats  `json:"latency"`
+	Accepted       uint64        `json:"accepted"`
+	LiveConns      int           `json:"live_conns"`
+	Inflight       int64         `json:"inflight"`
+	Panics         uint64        `json:"panics"`
+	BadFrames      uint64        `json:"bad_frames"`
+	SlowClients    uint64        `json:"slow_clients"`
+	ForcedConns    uint64        `json:"forced_conns"`
+	Rebalances     uint64        `json:"rebalances"`
+	TargetInstalls uint64        `json:"target_installs"`
+	Draining       bool          `json:"draining"`
+	StoreEntries   int           `json:"store_entries"`
+	StoreBytes     int64         `json:"store_bytes"`
+	Accesses       uint64        `json:"engine_accesses"`
+	Tenants        []TenantStats `json:"tenants"`
+	Latency        LatencyStats  `json:"latency"`
 }
 
 // Stats assembles a consistent-enough snapshot: counters are atomics, the
@@ -673,19 +702,20 @@ func (s *Server) Stats() StatsSnapshot {
 	s.mu.Unlock()
 
 	out := StatsSnapshot{
-		Accepted:     s.accepted.Load(),
-		LiveConns:    live,
-		Inflight:     s.adm.inflight.Load(),
-		Panics:       s.panics.Load(),
-		BadFrames:    s.badFrames.Load(),
-		SlowClients:  s.slowClients.Load(),
-		ForcedConns:  s.forcedConns.Load(),
-		Rebalances:   s.rebalanceCount(),
-		Draining:     s.draining.Load(),
-		StoreEntries: entries,
-		StoreBytes:   bytes,
-		Accesses:     snap.Accesses,
-		Tenants:      make([]TenantStats, len(s.adm.tenants)),
+		Accepted:       s.accepted.Load(),
+		LiveConns:      live,
+		Inflight:       s.adm.inflight.Load(),
+		Panics:         s.panics.Load(),
+		BadFrames:      s.badFrames.Load(),
+		SlowClients:    s.slowClients.Load(),
+		ForcedConns:    s.forcedConns.Load(),
+		Rebalances:     s.rebalanceCount(),
+		TargetInstalls: s.installCount(),
+		Draining:       s.draining.Load(),
+		StoreEntries:   entries,
+		StoreBytes:     bytes,
+		Accesses:       snap.Accesses,
+		Tenants:        make([]TenantStats, len(s.adm.tenants)),
 		Latency: LatencyStats{
 			N:     hist.N(),
 			P50us: hist.Quantile(0.5) * float64(latCap) / 1e3,

@@ -20,21 +20,43 @@ import (
 // work; it never affects safety or the cache-wide target sum.
 type Rebalancer struct {
 	e        *Engine
+	src      TargetSource
 	interval time.Duration
 	stop     chan struct{}
 	done     chan struct{}
 	stopOnce sync.Once
 	passes   atomic.Uint64
+	installs atomic.Uint64
+}
+
+// TargetSource supplies externally computed global targets to a rebalancer.
+// PollTargets returns (targets, true) when a new per-partition line vector
+// should be installed and (nil, false) when the current one stands. The
+// online allocator (internal/alloc) satisfies this: its epoch loop
+// recomputes targets from live miss-ratio curves and the rebalancer tick
+// picks them up here — closing the measurement→targets loop for the sharded
+// engine.
+type TargetSource interface {
+	PollTargets() ([]int, bool)
 }
 
 // StartRebalancer launches a background goroutine that calls e.Rebalance
 // every interval until Stop. interval must be positive.
 func (e *Engine) StartRebalancer(interval time.Duration) *Rebalancer {
+	return e.StartRebalancerSource(interval, nil)
+}
+
+// StartRebalancerSource is StartRebalancer with an optional target source:
+// each tick first installs freshly polled targets (if any), then runs the
+// demand-weighted redistribution pass on whatever targets are in force. A
+// nil src degenerates to the plain rebalancer.
+func (e *Engine) StartRebalancerSource(interval time.Duration, src TargetSource) *Rebalancer {
 	if interval <= 0 {
 		panic("shardcache: Rebalancer interval must be positive")
 	}
 	r := &Rebalancer{
 		e:        e,
+		src:      src,
 		interval: interval,
 		stop:     make(chan struct{}),
 		done:     make(chan struct{}),
@@ -53,6 +75,12 @@ func (r *Rebalancer) loop() {
 		case <-r.stop:
 			return
 		case <-t.C:
+			if r.src != nil {
+				if tg, ok := r.src.PollTargets(); ok {
+					r.e.SetTargets(tg)
+					r.installs.Add(1)
+				}
+			}
 			r.e.Rebalance()
 			r.passes.Add(1)
 		}
@@ -68,3 +96,6 @@ func (r *Rebalancer) Stop() {
 
 // Rebalances returns the number of completed background passes.
 func (r *Rebalancer) Rebalances() uint64 { return r.passes.Load() }
+
+// Installs returns the number of target vectors installed from the source.
+func (r *Rebalancer) Installs() uint64 { return r.installs.Load() }

@@ -1,0 +1,98 @@
+package shardcache
+
+import (
+	"testing"
+	"time"
+
+	"fscache/internal/alloc"
+	"fscache/internal/xrand"
+)
+
+// stubSource hands out one fixed target vector exactly once.
+type stubSource struct {
+	targets []int
+	polled  bool
+}
+
+func (s *stubSource) PollTargets() ([]int, bool) {
+	if s.polled {
+		return nil, false
+	}
+	s.polled = true
+	return append([]int(nil), s.targets...), true
+}
+
+// A rebalancer with a target source must install polled targets on its next
+// tick and then leave them in force.
+func TestRebalancerInstallsSourceTargets(t *testing.T) {
+	e := New(testConfig(4))
+	e.SetTargets(testTargets())
+	want := []int{1024, 1024, 2048}
+	r := e.StartRebalancerSource(time.Millisecond, &stubSource{targets: want})
+	//fslint:ignore determinism rebalancer test: bounded wall-clock wait for the ticker-driven install
+	deadline := time.Now().Add(2 * time.Second)
+	//fslint:ignore determinism rebalancer test: bounded wall-clock wait for the ticker-driven install
+	for r.Installs() == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	r.Stop()
+	if r.Installs() != 1 {
+		t.Fatalf("installs = %d, want exactly 1 (source fires once)", r.Installs())
+	}
+	got := e.Targets()
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("targets after install = %v, want %v", got, want)
+		}
+	}
+	if err := e.CheckInvariants(); err != nil {
+		t.Fatalf("invariants after source-driven rebalancing: %v", err)
+	}
+}
+
+// End-to-end: the online allocator observes the engine's access stream and
+// its epoch decisions reach the engine through the rebalancer tick. The
+// partition with the dominant working set must end up with the dominant
+// target — measurement driving enforcement, not static policy.
+func TestRebalancerAllocatorClosesLoop(t *testing.T) {
+	cfg := testConfig(4)
+	e := New(cfg)
+	e.SetTargets(testTargets())
+
+	a := alloc.New(alloc.Config{
+		Parts:         cfg.Parts,
+		Lines:         cfg.Lines,
+		EpochAccesses: 8192,
+		SampleShift:   1,
+		Seed:          7,
+	})
+	r := e.StartRebalancerSource(time.Millisecond, a)
+
+	// Partition 2 runs a 3000-line working set, partitions 0/1 tiny ones —
+	// the opposite of the static testTargets split.
+	rng := xrand.New(55)
+	ws := []int{100, 100, 3000}
+	//fslint:ignore determinism rebalancer test: bounded wall-clock wait for the allocator's targets to propagate
+	deadline := time.Now().Add(5 * time.Second)
+	for i := 0; ; i++ {
+		p := i % len(ws)
+		addr := uint64(p)<<32 | rng.Uint64()%uint64(ws[p])
+		e.Access(addr, p)
+		a.Observe(p, addr)
+		if i%4096 == 0 {
+			tg := e.Targets()
+			if r.Installs() > 0 && tg[2] > tg[0] && tg[2] > tg[1] {
+				break
+			}
+			//fslint:ignore determinism rebalancer test: bounded wall-clock escape hatch
+			if !time.Now().Before(deadline) {
+				t.Fatalf("allocator targets never reached the engine: engine %v, alloc %v, installs %d",
+					tg, a.Targets(), r.Installs())
+			}
+		}
+	}
+	r.Stop()
+	if err := e.CheckInvariants(); err != nil {
+		t.Fatalf("invariants after allocator-driven rebalancing: %v", err)
+	}
+}
